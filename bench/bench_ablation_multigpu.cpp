@@ -1,0 +1,112 @@
+// Ablation: fat nodes with one vs two GPU cards.
+//
+// Table 4 lists two C2070s per Delta node, but the paper's experiments use
+// one ("The MPI/GPU and PRS use one GPU on each node"). This bench shows
+// what the second card buys under the extended analytic model
+// (Fg_total = 2*Fg, each card with its own PCI-E link): compute-bound apps
+// approach 2x on the GPU share; PCI-E-bound apps gain from the second
+// independent link; the CPU share p shrinks per Eq (8).
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "apps/gemv.hpp"
+#include "apps/gmm.hpp"
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace prs;
+
+core::NodeConfig delta_with(int gpus) {
+  core::NodeConfig cfg;
+  cfg.gpus_per_node = gpus;
+  return cfg;
+}
+
+core::JobConfig steady(bool with_cpu) {
+  core::JobConfig cfg;
+  cfg.use_cpu = with_cpu;
+  cfg.charge_job_startup = false;
+  return cfg;
+}
+
+double cmeans_rate(int gpus, bool with_cpu) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, 1, delta_with(gpus));
+  apps::CmeansParams p;
+  p.clusters = 10;
+  p.max_iterations = 10;
+  auto s = apps::cmeans_prs_modeled(cluster, 1000000, 100, p,
+                                    steady(with_cpu));
+  return s.total_flops() / s.elapsed / 1e9;
+}
+
+double gemv_rate(int gpus, bool with_cpu) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, 1, delta_with(gpus));
+  auto s = apps::gemv_prs_modeled(cluster, 35000, 10000, steady(with_cpu));
+  return s.total_flops() / s.elapsed / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — one vs two GPUs per fat node (Delta, Table 4)",
+      "Gflops/node, steady state. p from the gpu_count-extended Eq (8).");
+
+  {
+    const roofline::AnalyticScheduler sched(simdev::delta_cpu(),
+                                            simdev::delta_c2070());
+    TextTable t({"app", "p (1 GPU)", "p (2 GPUs)"});
+    struct Row {
+      const char* app;
+      double ai;
+      bool staged;
+    } rows[] = {
+        {"GEMV", 2.0, true},
+        {"C-means (M=10)", 50.0, false},
+        {"GMM (M=100,D=60)", 66000.0, false},
+    };
+    for (const auto& r : rows) {
+      char p1[16], p2[16];
+      std::snprintf(p1, sizeof(p1), "%.1f%%",
+                    sched.workload_split(r.ai, r.staged, 1).cpu_fraction *
+                        100.0);
+      std::snprintf(p2, sizeof(p2), "%.1f%%",
+                    sched.workload_split(r.ai, r.staged, 2).cpu_fraction *
+                        100.0);
+      t.add_row({r.app, p1, p2});
+    }
+    t.print();
+  }
+
+  std::printf("\n-- measured Gflops/node --\n");
+  TextTable t({"app / backends", "1 GPU", "2 GPUs", "2-GPU gain"});
+  struct Case {
+    const char* name;
+    double (*run)(int, bool);
+    bool with_cpu;
+  } cases[] = {
+      {"C-means, GPU only", cmeans_rate, false},
+      {"C-means, GPU+CPU", cmeans_rate, true},
+      {"GEMV, GPU only", gemv_rate, false},
+      {"GEMV, GPU+CPU", gemv_rate, true},
+  };
+  for (const auto& c : cases) {
+    const double g1 = c.run(1, c.with_cpu);
+    const double g2 = c.run(2, c.with_cpu);
+    char gain[16];
+    std::snprintf(gain, sizeof(gain), "%.2fx", g2 / g1);
+    t.add_row({c.name, TextTable::num(g1, 4), TextTable::num(g2, 4), gain});
+  }
+  t.print();
+
+  std::printf(
+      "\nShape checks: compute-bound C-means nearly doubles its GPU-side "
+      "throughput; PCI-E-bound GEMV\ngains from the second card's own link; "
+      "with the CPU active the relative gain shrinks because\nthe CPU share "
+      "is unchanged hardware.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation of the paper's future-work extension (a): Eq (8) "can also be
+// extended by considering the bandwidth of the network in order to
+// schedule communication intensive tasks".
+//
+// Workload: single-pass GEMV whose matrix is distributed from the master
+// over the fabric before computing (time_input_distribution = true) and
+// whose output is negligible — a pure input-streaming job. With P nodes
+// fed from one master, each node effectively receives at B_net/(P-1)
+// (the master's egress is shared), so the networked model predicts
+//     node rate = min(Fc + Fg,  A * B_net/(P-1)).
+// The sweep shows the compute/network crossover and that the model tracks
+// the simulation in both regimes.
+#include <cstdio>
+
+#include "apps/gemv.hpp"
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace prs;
+
+constexpr int kNodes = 4;
+
+/// Simulated per-node throughput for the distributed-input GEMV.
+double measured_rate(double net_bandwidth) {
+  sim::Simulator sim;
+  simnet::FabricSpec fabric;
+  fabric.link_bandwidth = net_bandwidth;
+  fabric.latency = units::usec(50.0);
+  core::Cluster cluster(sim, kNodes, core::NodeConfig{}, fabric);
+  core::JobConfig cfg;
+  cfg.charge_job_startup = false;
+  cfg.time_input_distribution = true;
+  auto s = apps::gemv_prs_modeled(cluster, 140000, 10000, cfg);
+  return s.total_flops() / s.elapsed / kNodes;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — network-aware analytic model (paper future work a)",
+      "GEMV (AI = 2), 4 nodes, matrix distributed from the master before "
+      "computing. Predicted node rate = min(Fc+Fg, A*B_net/(P-1)).");
+
+  const roofline::AnalyticScheduler sched(simdev::delta_cpu(),
+                                          simdev::delta_c2070());
+  const double ai = apps::gemv_arithmetic_intensity();
+
+  TextTable t({"link bandwidth", "predicted [Gflops/node]",
+               "network-bound?", "measured [Gflops/node]"});
+  for (double gbps : {0.1, 0.5, 1.0, 4.0, 16.0, 64.0, 256.0}) {
+    const double bw = units::gb_per_s(gbps);
+    // Master egress shared by P-1 receivers.
+    const auto pred = sched.workload_split_networked(
+        ai, ai, /*staged=*/true, 1, bw / (kNodes - 1));
+    t.add_row({units::format_bandwidth(bw),
+               TextTable::num(pred.node_rate / 1e9, 4),
+               pred.network_bound ? "yes" : "no",
+               TextTable::num(measured_rate(bw) / 1e9, 4)});
+  }
+  t.print();
+
+  const auto base = sched.workload_split(ai, true);
+  const double crossover =
+      (base.cpu_rate + base.gpu_rate) / ai * (kNodes - 1);
+  std::printf(
+      "\nPredicted compute/network crossover at B_net ~= (P-1)*(Fc+Fg)/A = "
+      "%s.\nShape checks: measured rate ~linear in B_net below the "
+      "crossover (within ~25%% of the model —\nthe receiver's ingress link "
+      "and latency are outside it) and flat above it. The plateau sits at\n"
+      "the *measured* GEMV rate (~22 Gflops/node, Figure 6) rather than the "
+      "analytic Fc+Fg, the same\nanalytic-vs-profiled gap Table 5 "
+      "documents.\n",
+      prs::units::format_bandwidth(crossover).c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation of §III.C.2 (region-based memory management), as a real
+// wall-clock google-benchmark: bump allocation from a Region vs per-object
+// heap allocation, for the runtime's characteristic pattern — many small
+// intermediate key/value buffers allocated per task batch, freed all at
+// once when the batch completes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "simdev/region.hpp"
+
+namespace {
+
+constexpr std::size_t kAllocsPerBatch = 1024;
+
+// Mixed small sizes typical of emitted key/value records.
+std::size_t alloc_size(std::size_t i) { return 16 + (i % 7) * 24; }
+
+void BM_RegionAllocate(benchmark::State& state) {
+  prs::simdev::Region region(64 * 1024);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kAllocsPerBatch; ++i) {
+      void* p = region.allocate(alloc_size(i));
+      benchmark::DoNotOptimize(p);
+    }
+    region.clear();  // free the whole batch at once
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAllocsPerBatch));
+}
+BENCHMARK(BM_RegionAllocate);
+
+void BM_HeapAllocate(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<std::byte[]>> batch;
+    batch.reserve(kAllocsPerBatch);
+    for (std::size_t i = 0; i < kAllocsPerBatch; ++i) {
+      batch.push_back(std::make_unique<std::byte[]>(alloc_size(i)));
+      benchmark::DoNotOptimize(batch.back().get());
+    }
+    batch.clear();  // per-object frees
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAllocsPerBatch));
+}
+BENCHMARK(BM_HeapAllocate);
+
+void BM_RegionTypedArrays(benchmark::State& state) {
+  prs::simdev::Region region(256 * 1024);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      double* xs = region.allocate_array<double>(32);
+      benchmark::DoNotOptimize(xs);
+    }
+    region.clear();
+  }
+}
+BENCHMARK(BM_RegionTypedArrays);
+
+void BM_VectorTypedArrays(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<std::vector<double>> batch;
+    batch.reserve(256);
+    for (std::size_t i = 0; i < 256; ++i) {
+      batch.emplace_back(32);
+      benchmark::DoNotOptimize(batch.back().data());
+    }
+  }
+}
+BENCHMARK(BM_VectorTypedArrays);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Ablation promised in §III.B.2: static (analytic-model) vs dynamic
+// (block-polling) scheduling — "Our PRS provides for both scheduling
+// strategies. We will make comparisons in following sections."
+//
+// Three comparisons on the Delta node model:
+//  1. elapsed time of static vs dynamic for C-means and GEMV across block
+//     sizes (dynamic pays per-block polling overhead; tiny blocks flood the
+//     dispatcher, huge blocks imbalance the devices);
+//  2. sensitivity of static scheduling to the CPU fraction p: sweep p and
+//     show the analytic p from Eq (8) sits at (or near) the minimum —
+//     "according to the linear programming theory, when Tg_p ~= Tc_p, Tgc
+//     gets the minimal value";
+//  3. the cost of getting p wrong, quantifying what the analytic model buys
+//     over naive 50/50 or CPU-only/GPU-only placements.
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "apps/gemv.hpp"
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace prs;
+
+double cmeans_time(core::JobConfig cfg) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, 2, core::NodeConfig{});
+  apps::CmeansParams p;
+  p.clusters = 10;
+  p.max_iterations = 10;
+  cfg.charge_job_startup = false;
+  auto stats = apps::cmeans_prs_modeled(cluster, 400000, 100, p, cfg);
+  return stats.elapsed;
+}
+
+double gemv_time(core::JobConfig cfg) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, 2, core::NodeConfig{});
+  cfg.charge_job_startup = false;
+  auto stats = apps::gemv_prs_modeled(cluster, 70000, 10000, cfg);
+  return stats.elapsed;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — static (Eq (8)) vs dynamic (block polling) scheduling",
+      "2 Delta nodes; C-means 400k x 100, M=10, 10 iterations; GEMV 70000 x "
+      "10000.");
+
+  {
+    core::JobConfig stat;
+    stat.scheduling = core::SchedulingMode::kStatic;
+    TextTable t({"app", "static [s]", "dynamic auto [s]",
+                 "dynamic 1k-item blocks [s]", "dynamic 50k-item blocks [s]"});
+    for (const char* app : {"cmeans", "gemv"}) {
+      auto run = [&](core::JobConfig cfg) {
+        return app == std::string("cmeans") ? cmeans_time(cfg)
+                                            : gemv_time(cfg);
+      };
+      core::JobConfig dyn = stat;
+      dyn.scheduling = core::SchedulingMode::kDynamic;
+      core::JobConfig dyn_small = dyn;
+      dyn_small.dynamic_block_items = 1000;
+      core::JobConfig dyn_big = dyn;
+      dyn_big.dynamic_block_items = 50000;
+      t.add_row({app, TextTable::num(run(stat), 4),
+                 TextTable::num(run(dyn), 4),
+                 TextTable::num(run(dyn_small), 4),
+                 TextTable::num(run(dyn_big), 4)});
+    }
+    t.print();
+  }
+
+  std::printf(
+      "\n-- sensitivity of job time to the CPU fraction p (C-means) --\n");
+  {
+    sim::Simulator probe;
+    core::Cluster c0(probe, 1, core::NodeConfig{});
+    const double p_star =
+        c0.scheduler()
+            .workload_split(apps::cmeans_arithmetic_intensity(10), false)
+            .cpu_fraction;
+
+    TextTable t({"p (CPU share)", "elapsed [s]", "vs best"});
+    double best = 1e300;
+    std::vector<std::pair<double, double>> rows;
+    for (double p :
+         {0.0, 0.05, p_star, 0.2, 0.35, 0.5, 0.75, 1.0}) {
+      core::JobConfig cfg;
+      cfg.cpu_fraction_override = p;
+      const double el = cmeans_time(cfg);
+      rows.emplace_back(p, el);
+      best = std::min(best, el);
+    }
+    for (auto& [p, el] : rows) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "%.3f%s", p,
+                    p == p_star ? "  <- Eq (8)" : "");
+      char slowdown[32];
+      std::snprintf(slowdown, sizeof(slowdown), "%+.1f%%",
+                    (el / best - 1.0) * 100.0);
+      t.add_row({label, TextTable::num(el, 5), slowdown});
+    }
+    t.print();
+    std::printf(
+        "\nShape checks: the Eq (8) fraction sits at/near the sweep minimum; "
+        "both extremes (p=0 GPU-only,\np=1 CPU-only) are clearly slower; "
+        "dynamic scheduling tracks static but pays polling overhead,\n"
+        "especially with tiny blocks.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces paper Figure 3: roofline plots of the Delta node's CPU and
+// GPU with their ridge points. Prints the attainable-performance curves
+// (log-spaced arithmetic-intensity sweep) as series a plotting tool can
+// consume, plus the ridge points that drive Eq (8)'s three regimes.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "roofline/roofline.hpp"
+#include "simdev/device_spec.hpp"
+
+int main() {
+  using namespace prs;
+  bench::print_header(
+      "Figure 3 — rooflines of the Delta node (CPU: 2x Xeon 5660, GPU: "
+      "C2070)",
+      "Attainable Gflop/s vs arithmetic intensity. 'GPU (staged)' pays "
+      "PCI-E + DRAM serially (Eq (7)); 'GPU (resident)' is the cached-"
+      "data roofline.");
+
+  const roofline::RooflineModel cpu(simdev::delta_cpu());
+  const roofline::RooflineModel gpu(simdev::delta_c2070());
+
+  TextTable t({"AI [flops/byte]", "CPU [Gflops]", "GPU staged [Gflops]",
+               "GPU resident [Gflops]"});
+  for (double e = -3.0; e <= 14.01; e += 1.0) {
+    const double ai = std::pow(2.0, e);
+    t.add_row({TextTable::num(ai),
+               TextTable::num(cpu.attainable_flops(ai) / 1e9, 4),
+               TextTable::num(gpu.attainable_flops_staged(ai) / 1e9, 4),
+               TextTable::num(gpu.attainable_flops(ai) / 1e9, 4)});
+  }
+  t.print();
+
+  std::printf("\nRidge points (X axis of Figure 3):\n");
+  TextTable r({"device", "ridge AI [flops/byte]", "peak"});
+  r.add_row({"CPU (Acr)", TextTable::num(cpu.ridge_point(), 4),
+             units::format_flops(cpu.spec().peak_flops)});
+  r.add_row({"GPU staged (Agr)", TextTable::num(gpu.ridge_point_staged(), 4),
+             units::format_flops(gpu.spec().peak_flops)});
+  r.add_row({"GPU resident", TextTable::num(gpu.ridge_point(), 4),
+             units::format_flops(gpu.spec().peak_flops)});
+  r.print();
+
+  std::printf(
+      "\nShape checks: Acr << Agr (paper: 'Acr is usually smaller than "
+      "Agr'), so an application's\nAI can fall in three regimes: A < Acr, "
+      "Acr <= A < Agr, Agr <= A — the three cases of Eq (8).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces paper Figure 5 + §IV.A.1's quality comparison: C-means vs
+// K-means clustering of the Lymphocytes data set (20054 points, 4-D, 5
+// clusters), compared "in terms of average width over clusters and points
+// and clusters overlapping with standard Flame results".
+//
+// The FLAME data set is not redistributable; we use the synthetic
+// flame-like mixture (same N/D/K, overlapping anisotropic clusters) with
+// ground-truth labels (DESIGN.md "Substitutions"). Like the paper, initial
+// centers are random and we keep the best of several runs.
+//
+// Shape to reproduce: "The C-means results are a little better than
+// K-means in the two metrics for the test data set."
+//
+// Reproduction finding (EXPERIMENTS.md): on symmetric synthetic mixtures
+// the two algorithms land within ~1% of each other on both metrics, with
+// the ordering flipping between seeds — the paper's "a little better"
+// verdict depends on the real FLAME lymphocyte populations (skewed,
+// heavy-tailed) and its DA-derived reference labels, neither of which is
+// redistributable. The reproducible shape is: both cluster the data well,
+// and neither dominates.
+#include <cmath>
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "apps/kmeans.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+
+int main() {
+  using namespace prs;
+  bench::print_header(
+      "Figure 5 — C-means vs K-means quality on the Lymphocytes-like set",
+      "20054 points, 4-D, 5 clusters (synthetic FLAME stand-in with ground "
+      "truth). Best of 5 random initializations, run through the PRS on a "
+      "2-node cluster.");
+
+  Rng rng(2026);
+  const data::Dataset ds = data::generate_flame_like(rng);
+
+  struct Best {
+    double width = 1e300;
+    double overlap = 0.0;
+    double ari = 0.0;
+    int iterations = 0;
+  };
+  Best best_c, best_k;
+
+  for (int run = 0; run < 5; ++run) {
+    const std::uint64_t seed = 1000 + 137 * static_cast<std::uint64_t>(run);
+
+    sim::Simulator sim_c;
+    core::Cluster cluster_c(sim_c, 2, core::NodeConfig{});
+    apps::CmeansParams cp;
+    cp.clusters = 5;
+    cp.max_iterations = 150;
+    cp.seed = seed;
+    auto cres = apps::cmeans_prs(cluster_c, ds.points, cp, core::JobConfig{});
+    const double cw = data::average_cluster_width(ds.points, cres.assignment,
+                                                  cres.centers);
+    const double co =
+        data::overlap_with_reference(cres.assignment, ds.labels);
+    if (co > best_c.overlap) {
+      best_c = {cw, co,
+                data::adjusted_rand_index(cres.assignment, ds.labels),
+                cres.iterations};
+    }
+
+    sim::Simulator sim_k;
+    core::Cluster cluster_k(sim_k, 2, core::NodeConfig{});
+    apps::KmeansParams kp;
+    kp.clusters = 5;
+    kp.max_iterations = 150;
+    kp.seed = seed;
+    auto kres = apps::kmeans_prs(cluster_k, ds.points, kp, core::JobConfig{});
+    const double kw = data::average_cluster_width(ds.points, kres.assignment,
+                                                  kres.centers);
+    const double ko =
+        data::overlap_with_reference(kres.assignment, ds.labels);
+    if (ko > best_k.overlap) {
+      best_k = {kw, ko,
+                data::adjusted_rand_index(kres.assignment, ds.labels),
+                kres.iterations};
+    }
+  }
+
+  TextTable t({"algorithm", "avg width (lower=better)",
+               "overlap w/ reference (higher=better)", "adjusted Rand",
+               "iterations"});
+  t.add_row({"C-means", TextTable::num(best_c.width, 4),
+             TextTable::num(best_c.overlap, 4), TextTable::num(best_c.ari, 4),
+             std::to_string(best_c.iterations)});
+  t.add_row({"K-means", TextTable::num(best_k.width, 4),
+             TextTable::num(best_k.overlap, 4), TextTable::num(best_k.ari, 4),
+             std::to_string(best_k.iterations)});
+  t.print();
+
+  const double rel =
+      (best_c.overlap - best_k.overlap) / best_k.overlap * 100.0;
+  std::printf(
+      "\nShape check: C-means within ~2%% of K-means on overlap (%+.2f%%) "
+      "-> %s.\nPaper §IV.A.1 reports C-means 'a little better' on the real "
+      "FLAME data; on the synthetic\nstand-in the two are statistically "
+      "tied (see EXPERIMENTS.md).\n",
+      rel, std::fabs(rel) <= 2.0 ? "holds" : "DOES NOT HOLD");
+  return 0;
+}

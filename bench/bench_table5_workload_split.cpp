@@ -1,0 +1,146 @@
+// Reproduces paper Table 5: "Work Load Distribution among GPU and CPU of
+// Three Applications" on the Delta node — the CPU fraction p predicted by
+// the analytic model (Eq (8)) versus p obtained by application profiling.
+//
+// Profiling follows the paper's §IV.B reasoning: for the iterative, cached
+// apps (C-means, GMM) the measured backend rates come from device-level
+// throughput ("the average arithmetic intensity ... depends on the
+// bandwidth of DRAM and peak performance of GPU, rather than bandwidth of
+// PCI-E bus"); for the single-pass GEMV the GPU rate includes its PCI-E
+// staging, which *is* its bottleneck. p_profiled = Fc / (Fc + Fg).
+#include <cmath>
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "apps/gemv.hpp"
+#include "apps/gmm.hpp"
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace prs;
+
+struct Measured {
+  double fc = 0.0;  // CPU-backend rate, flops/s
+  double fg = 0.0;  // GPU-backend rate, flops/s
+  double p() const { return fc / (fc + fg); }
+};
+
+core::JobConfig backend_cfg(bool cpu) {
+  core::JobConfig cfg;
+  cfg.use_cpu = cpu;
+  cfg.use_gpu = !cpu;
+  cfg.charge_job_startup = false;  // steady-state rates
+  return cfg;
+}
+
+/// Backend rate from one single-backend modeled run. cpu_busy accumulates
+/// per-core busy seconds, so the node-level CPU rate divides it by the
+/// core count; the GPU compute engine is a single server.
+double rate_of(const core::Cluster& cluster, const core::JobStats& s,
+               bool cpu, bool include_pcie) {
+  if (cpu) {
+    const double cores = cluster.node_config().cpu.cores;
+    return s.cpu_flops / (s.cpu_busy / cores);
+  }
+  const double pcie_bw = cluster.node_config().gpu.pcie_bandwidth;
+  const double busy =
+      s.gpu_busy + (include_pcie ? s.pcie_bytes / pcie_bw : 0.0);
+  return s.gpu_flops / busy;
+}
+
+Measured profile_cmeans() {
+  apps::CmeansParams p;
+  p.clusters = 100;  // Table 5 quotes AI = 5*M with M = 100
+  p.max_iterations = 5;
+  Measured m;
+  for (bool cpu : {true, false}) {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, 1, core::NodeConfig{});
+    auto stats = apps::cmeans_prs_modeled(cluster, 200000, 100, p,
+                                          backend_cfg(cpu));
+    // Cached iterative app: device-level rates, PCI-E excluded (§IV.B).
+    (cpu ? m.fc : m.fg) = rate_of(cluster, stats, cpu, false);
+  }
+  return m;
+}
+
+Measured profile_gmm() {
+  apps::GmmParams p;
+  p.components = 10;  // Table 5: AI = 11*M*D with M=10, D=60
+  p.max_iterations = 5;
+  Measured m;
+  for (bool cpu : {true, false}) {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, 1, core::NodeConfig{});
+    auto stats =
+        apps::gmm_prs_modeled(cluster, 100000, 60, p, backend_cfg(cpu));
+    (cpu ? m.fc : m.fg) = rate_of(cluster, stats, cpu, false);
+  }
+  return m;
+}
+
+Measured profile_gemv() {
+  Measured m;
+  for (bool cpu : {true, false}) {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, 1, core::NodeConfig{});
+    auto stats =
+        apps::gemv_prs_modeled(cluster, 35000, 10000, backend_cfg(cpu));
+    // Staged single-pass app: the GPU rate includes PCI-E staging.
+    (cpu ? m.fc : m.fg) = rate_of(cluster, stats, cpu, true);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 5 — workload distribution p between CPU and GPU (Delta node)",
+      "p = CPU share of the input. Analytic: Eq (8) from the rooflines. "
+      "Profiled: single-backend modeled runs.");
+
+  const roofline::AnalyticScheduler sched(simdev::delta_cpu(),
+                                          simdev::delta_c2070());
+
+  struct Row {
+    const char* app;
+    double ai;
+    bool staged;
+    double paper_eq8, paper_prof;
+    Measured measured;
+  };
+  Row rows[] = {
+      {"GEMV", apps::gemv_arithmetic_intensity(), true, 0.973, 0.908,
+       profile_gemv()},
+      {"C-means", apps::cmeans_arithmetic_intensity(100), false, 0.112,
+       0.119, profile_cmeans()},
+      {"GMM", apps::gmm_arithmetic_intensity(10, 60), false, 0.112, 0.131,
+       profile_gmm()},
+  };
+
+  TextTable t({"App", "AI", "p by Eq (8)", "p by profiling",
+               "paper Eq(8)/prof", "|analytic-profiled| [pp]"});
+  for (const auto& r : rows) {
+    const double p_eq8 =
+        sched.workload_split(r.ai, r.staged).cpu_fraction;
+    const double p_prof = r.measured.p();
+    char paper[48], delta[32];
+    std::snprintf(paper, sizeof(paper), "%.1f%% / %.1f%%",
+                  r.paper_eq8 * 100.0, r.paper_prof * 100.0);
+    std::snprintf(delta, sizeof(delta), "%.1f",
+                  std::fabs(p_eq8 - p_prof) * 100.0);
+    t.add_row({r.app, TextTable::num(r.ai),
+               bench::vs_paper(p_eq8 * 100.0, r.paper_eq8 * 100.0),
+               bench::vs_paper(p_prof * 100.0, r.paper_prof * 100.0), paper,
+               delta});
+  }
+  t.print();
+  std::printf(
+      "\nShape check (paper §IV.B): low-AI apps push work to the CPU, "
+      "high-AI apps to the GPU;\nanalytic vs profiled p differ by < 10 "
+      "percentage points for all three apps.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the paper-reproduction bench harnesses: each bench
+// regenerates one table or figure of the paper and prints the measured
+// values next to the published ones with relative errors.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace prs::bench {
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("================================================================\n");
+}
+
+/// "x (err vs paper: y%)" cell.
+inline std::string vs_paper(double measured, double paper, int precision = 3) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*g (%+.1f%%)", precision, measured,
+                (measured - paper) / paper * 100.0);
+  return buf;
+}
+
+}  // namespace prs::bench

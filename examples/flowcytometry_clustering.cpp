@@ -1,0 +1,96 @@
+// Flow-cytometry clustering — the paper's motivating application
+// (§IV.A.1): fuzzy C-means over a lymphocyte-like data set on a GPU+CPU
+// cluster, with the event matrix cached in GPU memory across iterations.
+//
+// Demonstrates:
+//   * the iterative driver (loop-invariant data staged once, state
+//     broadcast per iteration);
+//   * clustering-quality metrics against ground truth;
+//   * what co-processing buys: the same job GPU-only vs GPU+CPU.
+//
+//   $ ./examples/flowcytometry_clustering
+#include <cstdio>
+
+#include "apps/cmeans.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/cluster.hpp"
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+
+int main() {
+  using namespace prs;
+
+  // Synthetic stand-in for the FLAME Lymphocytes set: 20054 points, 4
+  // dimensions, 5 overlapping populations, with ground-truth labels.
+  Rng rng(7);
+  const data::Dataset ds = data::generate_flame_like(rng);
+  std::printf("data set: %zu points, %zu dims, %d true clusters\n\n",
+              ds.size(), ds.dims(), ds.num_clusters);
+
+  apps::CmeansParams params;
+  params.clusters = 5;
+  params.fuzziness = 2.0;
+  params.max_iterations = 100;
+
+  auto run = [&](bool with_cpu) {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, /*nodes=*/4, core::NodeConfig{});
+    core::JobConfig cfg;
+    cfg.use_cpu = with_cpu;
+    core::JobStats stats;
+    auto res = apps::cmeans_prs(cluster, ds.points, params, cfg, &stats);
+    return std::pair(res, stats);
+  };
+
+  auto [result, stats] = run(/*with_cpu=*/true);
+  std::printf("converged after %d iterations, J_m = %.4g\n",
+              result.iterations, result.objective);
+  std::printf("avg cluster width:      %.4f\n",
+              data::average_cluster_width(ds.points, result.assignment,
+                                          result.centers));
+  std::printf("overlap with reference: %.4f\n",
+              data::overlap_with_reference(result.assignment, ds.labels));
+  std::printf("adjusted Rand index:    %.4f\n\n",
+              data::adjusted_rand_index(result.assignment, ds.labels));
+
+  std::printf("cluster centers:\n");
+  for (std::size_t j = 0; j < result.centers.rows(); ++j) {
+    std::printf("  c%zu = (", j);
+    for (std::size_t c = 0; c < result.centers.cols(); ++c) {
+      std::printf("%s%+.2f", c ? ", " : "", result.centers(j, c));
+    }
+    std::printf(")\n");
+  }
+
+  // Co-processing pays off at production scale, not on a 20k-point demo
+  // (where scheduling overheads dominate) — run the paper's Figure 6 shape
+  // at 1M points/node in modeled mode to see it:
+  auto modeled = [&](bool with_cpu) {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, 4, core::NodeConfig{});
+    core::JobConfig cfg;
+    cfg.use_cpu = with_cpu;
+    cfg.charge_job_startup = false;
+    apps::CmeansParams big = params;
+    big.clusters = 10;
+    big.max_iterations = 10;
+    return apps::cmeans_prs_modeled(cluster, 4000000, 100, big, cfg)
+        .elapsed;
+  };
+  const double t_gpu = modeled(false);
+  const double t_both = modeled(true);
+  std::printf(
+      "\nco-processing effect at paper scale (modeled, 1M pts/node x 4 "
+      "nodes, 10 iterations):\n"
+      "  GPU only : %s\n  GPU + CPU: %s  (%+.1f%%, paper Figure 6: "
+      "+11.56%%)\n",
+      units::format_time(t_gpu).c_str(), units::format_time(t_both).c_str(),
+      (t_gpu / t_both - 1.0) * 100.0);
+  std::printf(
+      "\nThe event matrix is cached in GPU memory across iterations "
+      "(paper §III.C.3), so\nper-iteration PCI-E traffic is only the "
+      "intermediate partial sums:\n  PCI-E bytes per iteration: %s\n",
+      units::format_bytes(stats.pcie_bytes / result.iterations).c_str());
+  return 0;
+}

@@ -1,0 +1,303 @@
+#include "apps/cmeans.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+#include "core/calibration.hpp"
+#include "linalg/blas.hpp"
+
+namespace prs::apps {
+namespace {
+
+/// Membership weights u_ij^m of one point against all centers (Eq (13)).
+/// Returns the per-cluster weights and accumulates the J_m contribution.
+void fuzzy_weights(std::span<const double> x, const linalg::MatrixD& centers,
+                   double fuzziness, std::vector<double>& weights,
+                   double& objective) {
+  const std::size_t m = centers.rows();
+  const std::size_t d = centers.cols();
+  weights.assign(m, 0.0);
+
+  // Squared distances to every center.
+  static thread_local std::vector<double> dist2;
+  dist2.assign(m, 0.0);
+  bool exact_hit = false;
+  std::size_t hit = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    dist2[j] = linalg::squared_distance<double>(x, {centers.row(j), d});
+    if (dist2[j] == 0.0) {
+      exact_hit = true;
+      hit = j;
+    }
+  }
+  if (exact_hit) {
+    // Point coincides with a center: full membership there (limit case).
+    weights[hit] = 1.0;
+    return;
+  }
+
+  // u_ij = 1 / sum_k (||x-c_j|| / ||x-c_k||)^(2/(m-1))   (Eq (13))
+  // Using squared distances: ratio^(2/(m-1)) = (d2_j/d2_k)^(1/(m-1)).
+  const double inv_exp = 1.0 / (fuzziness - 1.0);
+  double denom_sum = 0.0;  // sum_k d2_k^(-1/(m-1))
+  for (std::size_t k = 0; k < m; ++k) {
+    denom_sum += std::pow(dist2[k], -inv_exp);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    const double u = std::pow(dist2[j], -inv_exp) / denom_sum;
+    weights[j] = std::pow(u, fuzziness);       // u_ij^m for Eq (14)
+    objective += weights[j] * dist2[j];        // Eq (12) contribution
+  }
+}
+
+/// Accumulates one slice of points into per-cluster partials:
+/// partial[j] = [sum_i u^m x_i (D), sum_i u^m, J_m partial].
+void accumulate_slice(const linalg::MatrixD& points,
+                      const linalg::MatrixD& centers, double fuzziness,
+                      std::size_t begin, std::size_t end,
+                      std::vector<std::vector<double>>& partials) {
+  const std::size_t m = centers.rows();
+  const std::size_t d = centers.cols();
+  partials.assign(m, std::vector<double>(d + 2, 0.0));
+  std::vector<double> weights;
+  for (std::size_t i = begin; i < end; ++i) {
+    double objective = 0.0;
+    fuzzy_weights({points.row(i), d}, centers, fuzziness, weights, objective);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double w = weights[j];
+      if (w == 0.0) continue;
+      auto& p = partials[j];
+      const double* x = points.row(i);
+      for (std::size_t c = 0; c < d; ++c) p[c] += w * x[c];
+      p[d] += w;
+    }
+    // The objective is accounted on cluster 0's partial (summed globally).
+    partials[0][d + 1] += objective;
+  }
+}
+
+/// New centers from global partials (Eq (14)); returns max center movement.
+double update_centers(linalg::MatrixD& centers,
+                      const std::vector<std::vector<double>>& partials) {
+  const std::size_t m = centers.rows();
+  const std::size_t d = centers.cols();
+  double max_move2 = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& p = partials[j];
+    const double wsum = p[d];
+    if (wsum <= 0.0) continue;  // empty cluster keeps its center
+    double move2 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double nc = p[c] / wsum;
+      const double delta = nc - centers(j, c);
+      move2 += delta * delta;
+      centers(j, c) = nc;
+    }
+    max_move2 = std::max(max_move2, move2);
+  }
+  return std::sqrt(max_move2);
+}
+
+std::vector<int> hard_assignment(const linalg::MatrixD& points,
+                                 const linalg::MatrixD& centers) {
+  // argmax_j u_ij == argmin_j ||x_i - c_j|| for any fuzziness > 1.
+  const std::size_t d = points.cols();
+  std::vector<int> out(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int arg = 0;
+    for (std::size_t j = 0; j < centers.rows(); ++j) {
+      const double d2 = linalg::squared_distance<double>(
+          {points.row(i), d}, {centers.row(j), d});
+      if (d2 < best) {
+        best = d2;
+        arg = static_cast<int>(j);
+      }
+    }
+    out[i] = arg;
+  }
+  return out;
+}
+
+void validate_params(const linalg::MatrixD& points,
+                     const CmeansParams& params) {
+  PRS_REQUIRE(points.rows() > 0 && points.cols() > 0,
+              "C-means needs a non-empty point set");
+  PRS_REQUIRE(params.clusters >= 1, "need at least one cluster");
+  PRS_REQUIRE(static_cast<std::size_t>(params.clusters) <= points.rows(),
+              "more clusters than points");
+  PRS_REQUIRE(params.fuzziness > 1.0, "fuzziness must exceed 1");
+  PRS_REQUIRE(params.max_iterations >= 1, "need at least one iteration");
+}
+
+}  // namespace
+
+linalg::MatrixD initial_centers(const linalg::MatrixD& points, int clusters,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  // Distinct random indices (Floyd's algorithm keeps it O(M)).
+  std::vector<std::size_t> picks;
+  for (std::size_t j = n - static_cast<std::size_t>(clusters); j < n; ++j) {
+    std::size_t t = rng.uniform_index(j + 1);
+    if (std::find(picks.begin(), picks.end(), t) != picks.end()) t = j;
+    picks.push_back(t);
+  }
+  linalg::MatrixD centers(static_cast<std::size_t>(clusters), d);
+  for (std::size_t j = 0; j < picks.size(); ++j) {
+    for (std::size_t c = 0; c < d; ++c) {
+      centers(j, c) = points(picks[j], c);
+    }
+  }
+  return centers;
+}
+
+CmeansResult cmeans_serial(const linalg::MatrixD& points,
+                           const CmeansParams& params) {
+  validate_params(points, params);
+  CmeansResult res;
+  res.centers = initial_centers(points, params.clusters, params.seed);
+
+  std::vector<std::vector<double>> partials;
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    accumulate_slice(points, res.centers, params.fuzziness, 0, points.rows(),
+                     partials);
+    res.objective =
+        partials[0][points.cols() + 1];
+    const double move = update_centers(res.centers, partials);
+    res.iterations = iter + 1;
+    if (move < params.epsilon) break;
+  }
+  res.assignment = hard_assignment(points, res.centers);
+  return res;
+}
+
+double cmeans_flops_per_point(int clusters, std::size_t dims) {
+  // Paper convention: ~5 flops per cluster-dimension pair per point
+  // (distances 3MD + weighted accumulation 2MD; the O(M^2)-free Eq (13)
+  // form above matches it).
+  return 5.0 * static_cast<double>(clusters) * static_cast<double>(dims);
+}
+
+double cmeans_arithmetic_intensity(int clusters) {
+  // Table 5: AI(C-means) = 5 * M.
+  return 5.0 * static_cast<double>(clusters);
+}
+
+CmeansSpec cmeans_spec(std::shared_ptr<CmeansState> state,
+                       const CmeansParams& params, std::size_t dims) {
+  PRS_REQUIRE(state != nullptr, "spec needs a state");
+  CmeansSpec spec;
+  spec.name = "cmeans";
+  spec.cpu_map = [state](const core::InputSlice& s,
+                         core::Emitter<int, std::vector<double>>& e) {
+    std::vector<std::vector<double>> partials;
+    accumulate_slice(*state->points, state->centers, state->fuzziness,
+                     s.begin, s.end, partials);
+    for (std::size_t j = 0; j < partials.size(); ++j) {
+      e.emit(static_cast<int>(j), std::move(partials[j]));
+    }
+  };
+  // The CUDA kernels compute the same partials (paper: source often
+  // identical across backends).
+  spec.gpu_map = spec.cpu_map;
+  spec.modeled_map = [state](const core::InputSlice&,
+                             core::Emitter<int, std::vector<double>>& e) {
+    const std::size_t m = state->centers.rows();
+    const std::size_t d = state->centers.cols();
+    for (std::size_t j = 0; j < m; ++j) {
+      e.emit(static_cast<int>(j), std::vector<double>(d + 2, 0.0));
+    }
+  };
+  spec.combine = [](const std::vector<double>& a,
+                    const std::vector<double>& b) {
+    PRS_CHECK(a.size() == b.size(), "partial size mismatch");
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+  };
+
+  spec.cpu_flops_per_item = cmeans_flops_per_point(params.clusters, dims);
+  spec.gpu_flops_per_item = spec.cpu_flops_per_item;
+  spec.ai_cpu = cmeans_arithmetic_intensity(params.clusters);
+  spec.ai_gpu = spec.ai_cpu;
+  spec.gpu_data_cached = true;  // event matrix cached in GPU memory (§IV.A.1)
+  spec.item_bytes = static_cast<double>(dims);  // element-counted row
+  spec.pair_bytes = static_cast<double>(dims + 2);
+  spec.reduce_flops_per_pair = static_cast<double>(dims + 2);
+  // Per-iteration membership rows (M elements per point) copied back from
+  // the GPU — the PRS generality cost behind Table 3's PRS-vs-MPI gap; the
+  // hand-written MPI/GPU baseline keeps them resident.
+  spec.gpu_item_d2h_bytes = static_cast<double>(params.clusters);
+  spec.efficiency = core::calib::kCmeans;
+  return spec;
+}
+
+CmeansResult cmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
+                        const CmeansParams& params,
+                        const core::JobConfig& cfg,
+                        core::JobStats* stats_out) {
+  validate_params(points, params);
+  const std::size_t d = points.cols();
+
+  auto state = std::make_shared<CmeansState>();
+  state->points = &points;
+  state->centers = initial_centers(points, params.clusters, params.seed);
+  state->fuzziness = params.fuzziness;
+  CmeansSpec spec = cmeans_spec(state, params, d);
+
+  CmeansResult res;
+  auto on_iteration = [&](int iter,
+                          const std::map<int, std::vector<double>>& out) {
+    if (cfg.mode == core::ExecutionMode::kModeled) {
+      return true;  // no numeric content to converge on
+    }
+    std::vector<std::vector<double>> partials(
+        static_cast<std::size_t>(params.clusters));
+    for (const auto& [k, v] : out) {
+      partials[static_cast<std::size_t>(k)] = v;
+    }
+    res.objective = partials[0][d + 1];
+    const double move = update_centers(state->centers, partials);
+    res.iterations = iter + 1;
+    return move >= params.epsilon;
+  };
+
+  auto iterative = core::run_iterative<int, std::vector<double>>(
+      cluster, spec, cfg, points.rows(), params.max_iterations, on_iteration,
+      /*state_bytes=*/static_cast<double>(params.clusters) *
+          static_cast<double>(d));
+
+  res.centers = state->centers;
+  if (cfg.mode == core::ExecutionMode::kFunctional) {
+    res.assignment = hard_assignment(points, res.centers);
+  } else {
+    res.iterations = iterative.iterations;
+  }
+  if (stats_out != nullptr) *stats_out = iterative.stats;
+  return res;
+}
+
+core::JobStats cmeans_prs_modeled(core::Cluster& cluster,
+                                  std::size_t n_points, std::size_t dims,
+                                  const CmeansParams& params,
+                                  core::JobConfig cfg) {
+  PRS_REQUIRE(n_points > 0 && dims > 0, "modeled run needs a shape");
+  cfg.mode = core::ExecutionMode::kModeled;
+  auto state = std::make_shared<CmeansState>();
+  state->points = nullptr;  // modeled_map never dereferences it
+  state->centers = linalg::MatrixD(static_cast<std::size_t>(params.clusters),
+                                   dims, 0.0);
+  state->fuzziness = params.fuzziness;
+  CmeansSpec spec = cmeans_spec(state, params, dims);
+
+  auto iterative = core::run_iterative<int, std::vector<double>>(
+      cluster, spec, cfg, n_points, params.max_iterations,
+      [](int, const std::map<int, std::vector<double>>&) { return true; },
+      static_cast<double>(params.clusters) * static_cast<double>(dims));
+  return iterative.stats;
+}
+
+}  // namespace prs::apps

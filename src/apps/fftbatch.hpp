@@ -1,0 +1,62 @@
+// Batch FFT — the paper's moderate-arithmetic-intensity SPMD example
+// (Figure 4's middle band; §I: bottlenecked by DRAM and PCI-E bandwidth).
+//
+// Workload: transform a batch of independent fixed-size signals (the SPMD
+// pattern of spectral pipelines). A map task owns a slice of signals; the
+// reduce stage gathers the transformed signals (keys = signal index
+// ranges, unique). AI = 5*log2(N) per element — between GEMV (2) and the
+// clustering apps (hundreds), so Eq (8) splits the work more evenly than
+// either extreme.
+#pragma once
+
+#include <memory>
+
+#include "core/cluster.hpp"
+#include "core/job_runner.hpp"
+#include "core/mapreduce_spec.hpp"
+#include "linalg/fft.hpp"
+
+namespace prs::apps {
+
+/// A batch of equally sized signals, stored contiguously.
+struct SignalBatch {
+  std::size_t signal_size = 0;  // power of two
+  std::vector<linalg::Complex> samples;  // count * signal_size
+
+  std::size_t count() const {
+    return signal_size == 0 ? 0 : samples.size() / signal_size;
+  }
+  linalg::Complex* signal(std::size_t i) {
+    return samples.data() + i * signal_size;
+  }
+  const linalg::Complex* signal(std::size_t i) const {
+    return samples.data() + i * signal_size;
+  }
+};
+
+/// Serial reference: FFT of every signal.
+SignalBatch fft_batch_serial(const SignalBatch& in);
+
+struct FftBatchState {
+  const SignalBatch* input = nullptr;
+};
+
+/// Key = first signal index of the slice; value = transformed signals.
+using FftBatchSpec = core::MapReduceSpec<long, std::vector<linalg::Complex>>;
+
+FftBatchSpec fft_batch_spec(std::shared_ptr<FftBatchState> state,
+                            std::size_t signal_size);
+
+/// Distributed batch FFT; returns the transformed batch (empty in modeled
+/// mode).
+SignalBatch fft_batch_prs(core::Cluster& cluster, const SignalBatch& in,
+                          const core::JobConfig& cfg,
+                          core::JobStats* stats_out = nullptr);
+
+/// Paper-scale modeled run.
+core::JobStats fft_batch_prs_modeled(core::Cluster& cluster,
+                                     std::size_t signals,
+                                     std::size_t signal_size,
+                                     core::JobConfig cfg);
+
+}  // namespace prs::apps

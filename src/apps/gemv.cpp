@@ -1,0 +1,109 @@
+#include "apps/gemv.hpp"
+
+#include <span>
+
+#include "common/error.hpp"
+#include "core/calibration.hpp"
+#include "linalg/blas.hpp"
+
+namespace prs::apps {
+
+std::vector<double> gemv_serial(const linalg::MatrixD& a,
+                                const std::vector<double>& x) {
+  PRS_REQUIRE(a.cols() == x.size(), "gemv shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  linalg::gemv(1.0, a, std::span<const double>(x), 0.0, std::span<double>(y));
+  return y;
+}
+
+double gemv_flops_per_row(std::size_t cols) {
+  return 2.0 * static_cast<double>(cols);
+}
+
+double gemv_arithmetic_intensity() {
+  // Table 5: AI(GEMV) = 2 (element-counted convention, DESIGN.md).
+  return 2.0;
+}
+
+GemvSpec gemv_spec(std::shared_ptr<GemvState> state, std::size_t cols) {
+  PRS_REQUIRE(state != nullptr, "spec needs a state");
+  GemvSpec spec;
+  spec.name = "gemv";
+  spec.cpu_map = [state](const core::InputSlice& s,
+                         core::Emitter<long, std::vector<double>>& e) {
+    const auto& a = *state->a;
+    const auto& x = *state->x;
+    std::vector<double> segment(s.size(), 0.0);
+    for (std::size_t r = s.begin; r < s.end; ++r) {
+      segment[r - s.begin] = linalg::dot(
+          std::span<const double>{a.row(r), a.cols()},
+          std::span<const double>(x));
+    }
+    e.emit(static_cast<long>(s.begin), std::move(segment));
+  };
+  spec.gpu_map = spec.cpu_map;  // cuBLAS path computes the same segments
+  spec.modeled_map = [](const core::InputSlice& s,
+                        core::Emitter<long, std::vector<double>>& e) {
+    e.emit(static_cast<long>(s.begin), std::vector<double>{});
+  };
+  spec.combine = [](const std::vector<double>& a,
+                    const std::vector<double>& b) {
+    // Keys (segment start rows) are unique; nothing should collide. Keep a
+    // defensive concatenation.
+    std::vector<double> out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+  };
+  spec.cpu_flops_per_item = gemv_flops_per_row(cols);
+  spec.gpu_flops_per_item = spec.cpu_flops_per_item;
+  spec.ai_cpu = gemv_arithmetic_intensity();
+  spec.ai_gpu = spec.ai_cpu;
+  spec.gpu_data_cached = false;  // single pass: GPU stages A over PCI-E
+  spec.item_bytes = static_cast<double>(cols);  // one row, element-counted
+  // One emitted pair per map task carries its whole result segment; size it
+  // as the average segment (rows / tasks is unknown here, so per-row cost
+  // lands on reduce_flops instead and the pair carries ~segment elements).
+  spec.pair_bytes = 64.0;
+  spec.reduce_flops_per_pair = 1.0;
+  spec.gpu_item_d2h_bytes = 1.0;  // one result element per row
+  spec.efficiency = core::calib::kGemv;
+  return spec;
+}
+
+std::vector<double> gemv_prs(core::Cluster& cluster, const linalg::MatrixD& a,
+                             const std::vector<double>& x,
+                             const core::JobConfig& cfg,
+                             core::JobStats* stats_out) {
+  PRS_REQUIRE(a.cols() == x.size(), "gemv shape mismatch");
+  auto state = std::make_shared<GemvState>();
+  state->a = &a;
+  state->x = &x;
+  GemvSpec spec = gemv_spec(state, a.cols());
+
+  auto result = core::run_job(cluster, spec, cfg, a.rows());
+  if (stats_out != nullptr) *stats_out = result.stats;
+
+  std::vector<double> y;
+  if (cfg.mode == core::ExecutionMode::kFunctional) {
+    y.resize(a.rows(), 0.0);
+    for (const auto& [start, segment] : result.output) {
+      PRS_CHECK(static_cast<std::size_t>(start) + segment.size() <= y.size(),
+                "segment out of range");
+      std::copy(segment.begin(), segment.end(),
+                y.begin() + static_cast<std::ptrdiff_t>(start));
+    }
+  }
+  return y;
+}
+
+core::JobStats gemv_prs_modeled(core::Cluster& cluster, std::size_t rows,
+                                std::size_t cols, core::JobConfig cfg) {
+  PRS_REQUIRE(rows > 0 && cols > 0, "modeled run needs a shape");
+  cfg.mode = core::ExecutionMode::kModeled;
+  auto state = std::make_shared<GemvState>();  // never dereferenced
+  GemvSpec spec = gemv_spec(state, cols);
+  auto result = core::run_job(cluster, spec, cfg, rows);
+  return result.stats;
+}
+
+}  // namespace prs::apps

@@ -1,0 +1,51 @@
+// GEMV (matrix-vector multiply) — paper §IV.A.3.
+//
+// Row-wise block-striped decomposition: a map task owns a range of rows of
+// A, the vector x is replicated on every node, and the reduce stage
+// concatenates the result segments (the paper's "reduce task can
+// concatenate the pieces of vector C"). Single pass, no iteration, input
+// staged over PCI-E on the GPU path — the paper's low-intensity showcase
+// (AI = 2, Table 5) where the analytic model assigns ~97% to the CPU.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/job_runner.hpp"
+#include "core/mapreduce_spec.hpp"
+#include "linalg/matrix.hpp"
+
+namespace prs::apps {
+
+/// Serial reference: y = A x.
+std::vector<double> gemv_serial(const linalg::MatrixD& a,
+                                const std::vector<double>& x);
+
+double gemv_flops_per_row(std::size_t cols);
+double gemv_arithmetic_intensity();
+
+/// Key = first row of the segment, value = contiguous result segment.
+/// Keys are unique, so the combiner is never invoked (it concatenates
+/// defensively if a runtime ever re-slices).
+using GemvSpec = core::MapReduceSpec<long, std::vector<double>>;
+
+struct GemvState {
+  const linalg::MatrixD* a = nullptr;
+  const std::vector<double>* x = nullptr;
+};
+
+GemvSpec gemv_spec(std::shared_ptr<GemvState> state, std::size_t cols);
+
+/// Distributed y = A x on the cluster; returns the assembled vector (empty
+/// in modeled mode).
+std::vector<double> gemv_prs(core::Cluster& cluster, const linalg::MatrixD& a,
+                             const std::vector<double>& x,
+                             const core::JobConfig& cfg,
+                             core::JobStats* stats_out = nullptr);
+
+/// Paper-scale y = A x in ExecutionMode::kModeled (A never materialized):
+/// charges the full staging + compute time for an rows x cols multiply.
+core::JobStats gemv_prs_modeled(core::Cluster& cluster, std::size_t rows,
+                                std::size_t cols, core::JobConfig cfg);
+
+}  // namespace prs::apps

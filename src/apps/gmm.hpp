@@ -1,0 +1,72 @@
+// Gaussian Mixture Model via Expectation-Maximization — paper §IV.A.2.
+//
+// The paper's GPU GMM (Pangborn's implementation) estimates theta = (pi,
+// mu, R) for M clusters. We use diagonal covariances R_m: it keeps the
+// per-point cost O(M*D), matching the paper's arithmetic-intensity formula
+// AI = 11*M*D (Table 5), and is the standard choice for flow-cytometry
+// scale data (documented substitution, DESIGN.md).
+//
+// Three forms as usual: serial reference, PRS spec, distributed run.
+// Convergence: relative log-likelihood improvement below epsilon.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/iterative.hpp"
+#include "core/mapreduce_spec.hpp"
+#include "linalg/matrix.hpp"
+
+namespace prs::apps {
+
+struct GmmParams {
+  int components = 5;       // M
+  int max_iterations = 100;
+  double epsilon = 1e-6;    // relative log-likelihood improvement
+  double min_variance = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+struct GmmModel {
+  std::vector<double> weights;  // pi_m
+  linalg::MatrixD means;        // M x D
+  linalg::MatrixD variances;    // M x D (diagonal covariances)
+  double log_likelihood = 0.0;
+  int iterations = 0;
+};
+
+GmmModel gmm_serial(const linalg::MatrixD& points, const GmmParams& params);
+
+/// Per-point responsibilities under the model (E-step), for tests and
+/// cluster assignment. Returns an N x M matrix.
+linalg::MatrixD gmm_responsibilities(const linalg::MatrixD& points,
+                                     const GmmModel& model);
+
+double gmm_flops_per_point(int components, std::size_t dims);
+double gmm_arithmetic_intensity(int components, std::size_t dims);
+
+struct GmmState {
+  const linalg::MatrixD* points = nullptr;
+  GmmModel model;
+  double min_variance = 1e-6;
+};
+
+/// Per-component partial: [resp sum, sum r*x (D), sum r*x^2 (D),
+/// log-likelihood partial] — combine adds elementwise.
+using GmmSpec = core::MapReduceSpec<int, std::vector<double>>;
+
+GmmSpec gmm_spec(std::shared_ptr<GmmState> state, const GmmParams& params,
+                 std::size_t dims);
+
+GmmModel gmm_prs(core::Cluster& cluster, const linalg::MatrixD& points,
+                 const GmmParams& params, const core::JobConfig& cfg,
+                 core::JobStats* stats_out = nullptr);
+
+/// Paper-scale run in ExecutionMode::kModeled (no point matrix allocated);
+/// always runs exactly params.max_iterations rounds.
+core::JobStats gmm_prs_modeled(core::Cluster& cluster, std::size_t n_points,
+                               std::size_t dims, const GmmParams& params,
+                               core::JobConfig cfg);
+
+}  // namespace prs::apps

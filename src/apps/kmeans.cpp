@@ -1,0 +1,217 @@
+#include "apps/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "apps/cmeans.hpp"  // initial_centers
+#include "common/error.hpp"
+#include "core/calibration.hpp"
+#include "linalg/blas.hpp"
+
+namespace prs::apps {
+namespace {
+
+int nearest_center(std::span<const double> x, const linalg::MatrixD& centers,
+                   double& dist2_out) {
+  const std::size_t d = centers.cols();
+  double best = std::numeric_limits<double>::infinity();
+  int arg = 0;
+  for (std::size_t j = 0; j < centers.rows(); ++j) {
+    const double d2 =
+        linalg::squared_distance<double>(x, {centers.row(j), d});
+    if (d2 < best) {
+      best = d2;
+      arg = static_cast<int>(j);
+    }
+  }
+  dist2_out = best;
+  return arg;
+}
+
+/// Per-cluster partials over a slice: [sum x (D), count, inertia].
+void accumulate_slice(const linalg::MatrixD& points,
+                      const linalg::MatrixD& centers, std::size_t begin,
+                      std::size_t end,
+                      std::vector<std::vector<double>>& partials) {
+  const std::size_t m = centers.rows();
+  const std::size_t d = centers.cols();
+  partials.assign(m, std::vector<double>(d + 2, 0.0));
+  for (std::size_t i = begin; i < end; ++i) {
+    double d2 = 0.0;
+    const int j = nearest_center({points.row(i), d}, centers, d2);
+    auto& p = partials[static_cast<std::size_t>(j)];
+    const double* x = points.row(i);
+    for (std::size_t c = 0; c < d; ++c) p[c] += x[c];
+    p[d] += 1.0;
+    partials[0][d + 1] += d2;  // inertia accounted on cluster 0
+  }
+}
+
+double update_centers(linalg::MatrixD& centers,
+                      const std::vector<std::vector<double>>& partials) {
+  const std::size_t d = centers.cols();
+  double max_move2 = 0.0;
+  for (std::size_t j = 0; j < centers.rows(); ++j) {
+    const auto& p = partials[j];
+    if (p[d] <= 0.0) continue;  // empty cluster keeps its center
+    double move2 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double nc = p[c] / p[d];
+      const double delta = nc - centers(j, c);
+      move2 += delta * delta;
+      centers(j, c) = nc;
+    }
+    max_move2 = std::max(max_move2, move2);
+  }
+  return std::sqrt(max_move2);
+}
+
+void validate_params(const linalg::MatrixD& points,
+                     const KmeansParams& params) {
+  PRS_REQUIRE(points.rows() > 0 && points.cols() > 0,
+              "K-means needs a non-empty point set");
+  PRS_REQUIRE(params.clusters >= 1, "need at least one cluster");
+  PRS_REQUIRE(static_cast<std::size_t>(params.clusters) <= points.rows(),
+              "more clusters than points");
+  PRS_REQUIRE(params.max_iterations >= 1, "need at least one iteration");
+}
+
+}  // namespace
+
+KmeansResult kmeans_serial(const linalg::MatrixD& points,
+                           const KmeansParams& params) {
+  validate_params(points, params);
+  KmeansResult res;
+  res.centers = initial_centers(points, params.clusters, params.seed);
+  std::vector<std::vector<double>> partials;
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    accumulate_slice(points, res.centers, 0, points.rows(), partials);
+    res.inertia = partials[0][points.cols() + 1];
+    const double move = update_centers(res.centers, partials);
+    res.iterations = iter + 1;
+    if (move < params.epsilon) break;
+  }
+  res.assignment.resize(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double d2 = 0.0;
+    res.assignment[i] =
+        nearest_center({points.row(i), points.cols()}, res.centers, d2);
+  }
+  return res;
+}
+
+double kmeans_flops_per_point(int clusters, std::size_t dims) {
+  return 3.0 * static_cast<double>(clusters) * static_cast<double>(dims);
+}
+
+double kmeans_arithmetic_intensity(int clusters) {
+  return 3.0 * static_cast<double>(clusters);
+}
+
+KmeansSpec kmeans_spec(std::shared_ptr<KmeansState> state,
+                       const KmeansParams& params, std::size_t dims) {
+  PRS_REQUIRE(state != nullptr, "spec needs a state");
+  KmeansSpec spec;
+  spec.name = "kmeans";
+  spec.cpu_map = [state](const core::InputSlice& s,
+                         core::Emitter<int, std::vector<double>>& e) {
+    std::vector<std::vector<double>> partials;
+    accumulate_slice(*state->points, state->centers, s.begin, s.end,
+                     partials);
+    for (std::size_t j = 0; j < partials.size(); ++j) {
+      e.emit(static_cast<int>(j), std::move(partials[j]));
+    }
+  };
+  spec.gpu_map = spec.cpu_map;
+  spec.modeled_map = [state](const core::InputSlice&,
+                             core::Emitter<int, std::vector<double>>& e) {
+    for (std::size_t j = 0; j < state->centers.rows(); ++j) {
+      e.emit(static_cast<int>(j),
+             std::vector<double>(state->centers.cols() + 2, 0.0));
+    }
+  };
+  spec.combine = [](const std::vector<double>& a,
+                    const std::vector<double>& b) {
+    PRS_CHECK(a.size() == b.size(), "partial size mismatch");
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+  };
+  spec.cpu_flops_per_item = kmeans_flops_per_point(params.clusters, dims);
+  spec.gpu_flops_per_item = spec.cpu_flops_per_item;
+  spec.ai_cpu = kmeans_arithmetic_intensity(params.clusters);
+  spec.ai_gpu = spec.ai_cpu;
+  spec.gpu_data_cached = true;
+  spec.item_bytes = static_cast<double>(dims);
+  spec.pair_bytes = static_cast<double>(dims + 2);
+  spec.reduce_flops_per_pair = static_cast<double>(dims + 2);
+  spec.efficiency = core::calib::kKmeans;
+  return spec;
+}
+
+KmeansResult kmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
+                        const KmeansParams& params,
+                        const core::JobConfig& cfg,
+                        core::JobStats* stats_out) {
+  validate_params(points, params);
+  const std::size_t d = points.cols();
+
+  auto state = std::make_shared<KmeansState>();
+  state->points = &points;
+  state->centers = initial_centers(points, params.clusters, params.seed);
+  KmeansSpec spec = kmeans_spec(state, params, d);
+
+  KmeansResult res;
+  auto on_iteration = [&](int iter,
+                          const std::map<int, std::vector<double>>& out) {
+    if (cfg.mode == core::ExecutionMode::kModeled) return true;
+    std::vector<std::vector<double>> partials(
+        static_cast<std::size_t>(params.clusters));
+    for (const auto& [k, v] : out) {
+      partials[static_cast<std::size_t>(k)] = v;
+    }
+    res.inertia = partials[0][d + 1];
+    const double move = update_centers(state->centers, partials);
+    res.iterations = iter + 1;
+    return move >= params.epsilon;
+  };
+
+  auto iterative = core::run_iterative<int, std::vector<double>>(
+      cluster, spec, cfg, points.rows(), params.max_iterations, on_iteration,
+      static_cast<double>(params.clusters) * static_cast<double>(d));
+
+  res.centers = state->centers;
+  if (cfg.mode == core::ExecutionMode::kFunctional) {
+    res.assignment.resize(points.rows());
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      double d2 = 0.0;
+      res.assignment[i] =
+          nearest_center({points.row(i), d}, res.centers, d2);
+    }
+  } else {
+    res.iterations = iterative.iterations;
+  }
+  if (stats_out != nullptr) *stats_out = iterative.stats;
+  return res;
+}
+
+core::JobStats kmeans_prs_modeled(core::Cluster& cluster,
+                                  std::size_t n_points, std::size_t dims,
+                                  const KmeansParams& params,
+                                  core::JobConfig cfg) {
+  PRS_REQUIRE(n_points > 0 && dims > 0, "modeled run needs a shape");
+  cfg.mode = core::ExecutionMode::kModeled;
+  auto state = std::make_shared<KmeansState>();
+  state->points = nullptr;  // modeled_map never dereferences it
+  state->centers = linalg::MatrixD(static_cast<std::size_t>(params.clusters),
+                                   dims, 0.0);
+  KmeansSpec spec = kmeans_spec(state, params, dims);
+  auto iterative = core::run_iterative<int, std::vector<double>>(
+      cluster, spec, cfg, n_points, params.max_iterations,
+      [](int, const std::map<int, std::vector<double>>&) { return true; },
+      static_cast<double>(params.clusters) * static_cast<double>(dims));
+  return iterative.stats;
+}
+
+}  // namespace prs::apps

@@ -1,0 +1,62 @@
+// K-means (Lloyd's algorithm) — the clustering baseline the paper compares
+// C-means against in Figure 5 ("similar performance ratios for Kmeans").
+// Same three forms as C-means: serial reference, PRS spec, distributed run.
+//
+// Cost model: flops/point = 3*M*D (distance scan) + D accumulate; AI = 3*M
+// with the point matrix cached on the GPU across iterations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/iterative.hpp"
+#include "core/mapreduce_spec.hpp"
+#include "linalg/matrix.hpp"
+
+namespace prs::apps {
+
+struct KmeansParams {
+  int clusters = 5;
+  int max_iterations = 100;
+  double epsilon = 1e-6;  // max center movement
+  std::uint64_t seed = 42;
+};
+
+struct KmeansResult {
+  linalg::MatrixD centers;
+  std::vector<int> assignment;
+  double inertia = 0.0;  // sum of squared distances to assigned centers
+  int iterations = 0;
+};
+
+KmeansResult kmeans_serial(const linalg::MatrixD& points,
+                           const KmeansParams& params);
+
+double kmeans_flops_per_point(int clusters, std::size_t dims);
+double kmeans_arithmetic_intensity(int clusters);
+
+struct KmeansState {
+  const linalg::MatrixD* points = nullptr;
+  linalg::MatrixD centers;
+};
+
+/// Per-cluster partial: [sum x (D), count, inertia partial].
+using KmeansSpec = core::MapReduceSpec<int, std::vector<double>>;
+
+KmeansSpec kmeans_spec(std::shared_ptr<KmeansState> state,
+                       const KmeansParams& params, std::size_t dims);
+
+KmeansResult kmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
+                        const KmeansParams& params,
+                        const core::JobConfig& cfg,
+                        core::JobStats* stats_out = nullptr);
+
+/// Paper-scale run in ExecutionMode::kModeled (no point matrix allocated);
+/// always runs exactly params.max_iterations rounds.
+core::JobStats kmeans_prs_modeled(core::Cluster& cluster,
+                                  std::size_t n_points, std::size_t dims,
+                                  const KmeansParams& params,
+                                  core::JobConfig cfg);
+
+}  // namespace prs::apps

@@ -1,0 +1,95 @@
+#include "apps/wordcount.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/calibration.hpp"
+
+namespace prs::apps {
+namespace {
+
+/// Average bytes per line used by the cost model (kept in sync with the
+/// generator below).
+constexpr double kAvgWordLen = 6.0;
+
+void count_line(const std::string& line, std::map<std::string, long>& acc) {
+  std::istringstream ss(line);
+  std::string word;
+  while (ss >> word) acc[word]++;
+}
+
+}  // namespace
+
+Corpus generate_corpus(Rng& rng, std::size_t lines,
+                       std::size_t words_per_line, std::size_t vocabulary) {
+  PRS_REQUIRE(vocabulary >= 1, "vocabulary must be non-empty");
+  Corpus corpus;
+  corpus.reserve(lines);
+  for (std::size_t i = 0; i < lines; ++i) {
+    std::string line;
+    for (std::size_t w = 0; w < words_per_line; ++w) {
+      // Zipf-ish: squared uniform biases toward low word ids.
+      const double u = rng.uniform();
+      const auto id =
+          static_cast<std::size_t>(u * u * static_cast<double>(vocabulary));
+      if (w > 0) line += ' ';
+      line += "word" + std::to_string(std::min(id, vocabulary - 1));
+    }
+    corpus.push_back(std::move(line));
+  }
+  return corpus;
+}
+
+std::map<std::string, long> wordcount_serial(const Corpus& corpus) {
+  std::map<std::string, long> counts;
+  for (const auto& line : corpus) count_line(line, counts);
+  return counts;
+}
+
+WordCountSpec wordcount_spec(std::shared_ptr<const Corpus> corpus) {
+  PRS_REQUIRE(corpus != nullptr, "spec needs a corpus");
+  WordCountSpec spec;
+  spec.name = "wordcount";
+  spec.cpu_map = [corpus](const core::InputSlice& s,
+                          core::Emitter<std::string, long>& e) {
+    // Per-task pre-aggregation (combiner inside the mapper).
+    std::map<std::string, long> acc;
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      count_line((*corpus)[i], acc);
+    }
+    for (auto& [w, c] : acc) e.emit(w, c);
+  };
+  spec.gpu_map = spec.cpu_map;
+  spec.modeled_map = [](const core::InputSlice&,
+                        core::Emitter<std::string, long>& e) {
+    e.emit("word0", 0);
+  };
+  spec.combine = [](const long& a, const long& b) { return a + b; };
+
+  // Cost model: scanning text is ~1 flop (comparison) per byte — the
+  // leftmost point of the paper's Figure 4 intensity spectrum.
+  const double line_bytes = kAvgWordLen * 10.0;
+  spec.cpu_flops_per_item = line_bytes;
+  spec.gpu_flops_per_item = line_bytes;
+  spec.ai_cpu = 0.125;  // Figure 4: word count AI ~ 1/8 flop per byte
+  spec.ai_gpu = 0.125;
+  spec.gpu_data_cached = false;
+  spec.item_bytes = line_bytes;
+  spec.pair_bytes = kAvgWordLen + 8.0;
+  spec.reduce_flops_per_pair = 1.0;
+  spec.efficiency = core::calib::kWordCount;
+  return spec;
+}
+
+std::map<std::string, long> wordcount_prs(core::Cluster& cluster,
+                                          std::shared_ptr<const Corpus> corpus,
+                                          const core::JobConfig& cfg,
+                                          core::JobStats* stats_out) {
+  PRS_REQUIRE(corpus && !corpus->empty(), "corpus must be non-empty");
+  WordCountSpec spec = wordcount_spec(corpus);
+  auto res = core::run_job(cluster, spec, cfg, corpus->size());
+  if (stats_out != nullptr) *stats_out = res.stats;
+  return std::move(res.output);
+}
+
+}  // namespace prs::apps

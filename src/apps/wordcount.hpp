@@ -1,0 +1,39 @@
+// Word count — the paper's canonical low-arithmetic-intensity example
+// ("for applications that have low arithmetic intensity, such as log
+// analysis", §I; leftmost band of Figure 4). Exercises string keys, real
+// combiners, and a shuffle with many distinct keys.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/job_runner.hpp"
+#include "core/mapreduce_spec.hpp"
+
+namespace prs::apps {
+
+/// A corpus: one string per input item (a "line").
+using Corpus = std::vector<std::string>;
+
+/// Synthetic corpus with a Zipf-ish word distribution over `vocabulary`
+/// distinct words.
+Corpus generate_corpus(Rng& rng, std::size_t lines, std::size_t words_per_line,
+                       std::size_t vocabulary);
+
+/// Serial reference count.
+std::map<std::string, long> wordcount_serial(const Corpus& corpus);
+
+using WordCountSpec = core::MapReduceSpec<std::string, long>;
+
+WordCountSpec wordcount_spec(std::shared_ptr<const Corpus> corpus);
+
+std::map<std::string, long> wordcount_prs(core::Cluster& cluster,
+                                          std::shared_ptr<const Corpus> corpus,
+                                          const core::JobConfig& cfg,
+                                          core::JobStats* stats_out = nullptr);
+
+}  // namespace prs::apps

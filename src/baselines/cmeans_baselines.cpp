@@ -1,0 +1,147 @@
+#include "baselines/cmeans_baselines.hpp"
+
+#include "apps/cmeans.hpp"
+#include "core/calibration.hpp"
+#include "simtime/process.hpp"
+
+namespace prs::baselines {
+namespace {
+
+using core::calib::kHadoopPerItem;
+using core::calib::kHadoopPerIterationLaunch;
+using core::calib::kMpiCpuEfficiency;
+using core::calib::kMpiGpuPerItem;
+using core::calib::kMpiJobStartup;
+
+constexpr int kCentersTag = 500;
+
+simnet::Combiner sum_bytes_combiner() {
+  return [](simnet::Message a, simnet::Message b) {
+    return simnet::Message{std::max(a.bytes, b.bytes), {}};
+  };
+}
+
+/// One MPI rank of the MPI/GPU implementation: per iteration, one fused
+/// kernel over the local points (event matrix resident in GPU memory, as
+/// in the paper's CUDA code) + an allreduce of the partial centers.
+sim::Process mpi_gpu_rank(core::Cluster& cluster, int rank,
+                          CmeansWorkload w, std::shared_ptr<int> remaining) {
+  auto& sim = cluster.simulator();
+  auto& node = cluster.node(rank);
+  auto& comm = cluster.fabric().comm(rank);
+  const auto local_points = static_cast<double>(w.total_points) /
+                            static_cast<double>(w.nodes);
+  const double flops_per_point =
+      apps::cmeans_flops_per_point(w.clusters, w.dims);
+  const double ai = apps::cmeans_arithmetic_intensity(w.clusters);
+  const double centers_bytes =
+      static_cast<double>(w.clusters) * static_cast<double>(w.dims + 1);
+
+  co_await sim::delay(sim, kMpiJobStartup);
+  for (int it = 0; it < w.iterations; ++it) {
+    simdev::KernelDesc k;
+    k.name = "cmeans:mpi-gpu";
+    k.workload.flops = local_points * flops_per_point;
+    k.workload.mem_traffic = k.workload.flops / ai;
+    k.compute_efficiency = core::calib::kCmeans.gpu_compute;
+    k.memory_efficiency = core::calib::kCmeans.gpu_memory;
+    auto kernel_done = node.gpu().default_stream().launch(std::move(k));
+    co_await kernel_done;
+
+    // Host-side per-point bookkeeping (launch batching, pageable copies of
+    // the partial sums, center update).
+    co_await sim::delay(sim, local_points * kMpiGpuPerItem);
+
+    // MPI_Allreduce of the partial center matrix.
+    simnet::Message mine{centers_bytes, {}};
+    simnet::Combiner combine = sum_bytes_combiner();
+    auto red = comm.allreduce(std::move(mine), std::move(combine),
+                              kCentersTag);
+    (void)co_await red;
+  }
+  --*remaining;
+}
+
+/// One MPI rank of the MPI/CPU implementation: the local points are split
+/// over 2x the cores (hyper-threading, as the paper states), each chunk is
+/// one pthread task at the baseline's (low) efficiency.
+sim::Process mpi_cpu_rank(core::Cluster& cluster, int rank,
+                          CmeansWorkload w, std::shared_ptr<int> remaining) {
+  auto& sim = cluster.simulator();
+  auto& node = cluster.node(rank);
+  auto& comm = cluster.fabric().comm(rank);
+  const auto local_points = static_cast<double>(w.total_points) /
+                            static_cast<double>(w.nodes);
+  const double flops_per_point =
+      apps::cmeans_flops_per_point(w.clusters, w.dims);
+  const double ai = apps::cmeans_arithmetic_intensity(w.clusters);
+  const double centers_bytes =
+      static_cast<double>(w.clusters) * static_cast<double>(w.dims + 1);
+  const int threads = node.cpu().cores() * 2;  // hyper-threading
+
+  co_await sim::delay(sim, kMpiJobStartup);
+  for (int it = 0; it < w.iterations; ++it) {
+    std::vector<sim::Future<sim::Unit>> futs;
+    futs.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      simdev::CpuTask task;
+      task.name = "cmeans:mpi-cpu";
+      task.workload.flops =
+          local_points / threads * flops_per_point;
+      task.workload.mem_traffic = task.workload.flops / ai;
+      task.compute_efficiency = kMpiCpuEfficiency;
+      task.memory_efficiency = kMpiCpuEfficiency;
+      futs.push_back(node.cpu().submit(std::move(task)));
+    }
+    auto all = sim::when_all(sim, futs);
+    co_await all;
+
+    simnet::Message mine{centers_bytes, {}};
+    simnet::Combiner combine = sum_bytes_combiner();
+    auto red = comm.allreduce(std::move(mine), std::move(combine),
+                              kCentersTag);
+    (void)co_await red;
+  }
+  --*remaining;
+}
+
+}  // namespace
+
+double cmeans_mpi_gpu(const CmeansWorkload& w, const core::NodeConfig& node) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, w.nodes, node);
+  auto remaining = std::make_shared<int>(w.nodes);
+  const double t0 = sim.now();
+  for (int r = 0; r < w.nodes; ++r) {
+    sim.spawn(mpi_gpu_rank(cluster, r, w, remaining));
+  }
+  sim.run();
+  PRS_CHECK(*remaining == 0, "MPI/GPU ranks did not finish");
+  return sim.now() - t0;
+}
+
+double cmeans_mpi_cpu(const CmeansWorkload& w, const core::NodeConfig& node) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, w.nodes, node);
+  auto remaining = std::make_shared<int>(w.nodes);
+  const double t0 = sim.now();
+  for (int r = 0; r < w.nodes; ++r) {
+    sim.spawn(mpi_cpu_rank(cluster, r, w, remaining));
+  }
+  sim.run();
+  PRS_CHECK(*remaining == 0, "MPI/CPU ranks did not finish");
+  return sim.now() - t0;
+}
+
+double cmeans_mahout(const CmeansWorkload& w) {
+  // Hadoop executes one MapReduce job per C-means iteration; each pays job
+  // submission + JVM spin-up, then streams the points from HDFS. Compute
+  // itself is negligible next to that (the "two orders of magnitude" gap).
+  const double points_per_node = static_cast<double>(w.total_points) /
+                                 static_cast<double>(w.nodes);
+  const double per_iteration =
+      kHadoopPerIterationLaunch + points_per_node * kHadoopPerItem;
+  return static_cast<double>(w.iterations) * per_iteration;
+}
+
+}  // namespace prs::baselines

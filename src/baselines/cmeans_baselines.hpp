@@ -1,0 +1,39 @@
+// Baseline runtimes the paper compares PRS against in Table 3:
+//   MPI/GPU    — hand-written MPI + CUDA C-means, one GPU per node, no
+//                runtime framework overhead beyond kernel/copy bookkeeping;
+//   MPI/CPU    — hand-written MPI + pthreads C-means on all cores (the
+//                paper's unvectorized reference, see calib::kMpiCpuEfficiency);
+//   Mahout/CPU — Hadoop-based clustering: per-iteration job submission and
+//                HDFS traffic dominate (the "two orders of magnitude" row).
+//
+// Each baseline runs on the same simulated devices/fabric as the PRS so the
+// comparison isolates framework overhead, exactly like the paper's setup.
+#pragma once
+
+#include <cstddef>
+
+#include "core/cluster.hpp"
+
+namespace prs::baselines {
+
+/// Workload of Table 3: C-means with D dimensions, M clusters, fixed
+/// iteration count, evenly split across `nodes` fat nodes.
+struct CmeansWorkload {
+  std::size_t total_points = 200000;
+  std::size_t dims = 100;
+  int clusters = 10;
+  int iterations = 300;  // calib::kTable3Iterations
+  int nodes = 4;
+};
+
+/// Virtual elapsed seconds of the MPI + one-GPU-per-node implementation.
+double cmeans_mpi_gpu(const CmeansWorkload& w, const core::NodeConfig& node);
+
+/// Virtual elapsed seconds of the MPI + all-CPU-cores implementation
+/// (two threads per core with hyper-threading, per the paper).
+double cmeans_mpi_cpu(const CmeansWorkload& w, const core::NodeConfig& node);
+
+/// Virtual elapsed seconds of the Mahout-on-Hadoop implementation.
+double cmeans_mahout(const CmeansWorkload& w);
+
+}  // namespace prs::baselines

@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace prs::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << kind << " failed: (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace prs::detail

@@ -1,0 +1,61 @@
+// Error handling primitives for the PRS library.
+//
+// The library uses exceptions for programming errors and unrecoverable
+// conditions (per C++ Core Guidelines E.2): all throw sites funnel through
+// prs::Error so callers can catch one type at the API boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace prs {
+
+/// Base exception for all errors raised by the PRS library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates an API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant is broken (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulated resource is exhausted (e.g. GPU memory).
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace prs
+
+/// Precondition check: throws prs::InvalidArgument when `cond` is false.
+#define PRS_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::prs::detail::throw_check_failure("precondition", #cond, __FILE__,   \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (0)
+
+/// Internal invariant check: throws prs::InternalError when `cond` is false.
+#define PRS_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::prs::detail::throw_check_failure("invariant", #cond, __FILE__,      \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (0)

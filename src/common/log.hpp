@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The runtime emits scheduler decisions and device-daemon activity at Debug
+// level; benches and examples run at Info. Logging is global and
+// single-threaded by design: all runtime activity happens inside the
+// deterministic discrete-event simulator loop.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace prs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line (with level prefix) to stderr if enabled.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace prs
+
+#define PRS_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::prs::log_level())) { \
+  } else                                                \
+    ::prs::detail::LogLine(level)
+
+#define PRS_DEBUG PRS_LOG(::prs::LogLevel::kDebug)
+#define PRS_INFO PRS_LOG(::prs::LogLevel::kInfo)
+#define PRS_WARN PRS_LOG(::prs::LogLevel::kWarn)
+#define PRS_ERROR PRS_LOG(::prs::LogLevel::kError)

@@ -1,0 +1,43 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace prs {
+
+void StatsAccumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StatsAccumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StatsAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> xs, double q) {
+  PRS_REQUIRE(!xs.empty(), "percentile of empty sample");
+  PRS_REQUIRE(q >= 0.0 && q <= 100.0, "percentile q must be in [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double relative_error(double a, double b, double eps) {
+  return std::fabs(a - b) / std::max(std::fabs(b), eps);
+}
+
+}  // namespace prs

@@ -1,0 +1,41 @@
+// Small statistics utilities used by benches and schedulers.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace prs {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class StatsAccumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (linear interpolation, q in [0, 100]).
+/// Copies and sorts internally; intended for bench-sized vectors.
+double percentile(std::vector<double> xs, double q);
+
+/// Relative error |a - b| / max(|b|, eps). Used when comparing measured
+/// values against the paper's reported numbers.
+double relative_error(double a, double b, double eps = 1e-12);
+
+}  // namespace prs

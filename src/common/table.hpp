@@ -1,0 +1,34 @@
+// ASCII table formatting for the benchmark harnesses.
+//
+// Every bench regenerates a table or figure from the paper; TextTable renders
+// the same rows/columns the paper reports, aligned for terminal reading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prs {
+
+/// Column-aligned ASCII table with a header row and separator.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Renders the table to a string, padding columns to the widest cell.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prs

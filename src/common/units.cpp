@@ -1,0 +1,54 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace prs::units {
+namespace {
+
+std::string format_scaled(double value, double base,
+                          const std::array<const char*, 5>& suffixes) {
+  double v = value;
+  std::size_t i = 0;
+  while (std::fabs(v) >= base && i + 1 < suffixes.size()) {
+    v /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", v, suffixes[i]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_time(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3g ns", seconds * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3g us", seconds * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g s", seconds);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  return format_scaled(bytes, 1024.0, {"B", "KiB", "MiB", "GiB", "TiB"});
+}
+
+std::string format_flops(double flops_per_s) {
+  return format_scaled(flops_per_s, 1000.0,
+                       {"flop/s", "Kflop/s", "Mflop/s", "Gflop/s", "Tflop/s"});
+}
+
+std::string format_bandwidth(double bytes_per_s) {
+  return format_scaled(bytes_per_s, 1000.0,
+                       {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"});
+}
+
+}  // namespace prs::units

@@ -1,0 +1,47 @@
+// Unit helpers: the simulation deals in seconds, bytes, and flops throughout.
+// These constexpr factors and formatters keep magnitudes readable and prevent
+// the classic GB-vs-GiB and Gflops-vs-flops slips in calibration code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prs::units {
+
+// Decimal (SI) scale factors — bandwidths and flop rates are quoted in SI
+// units, matching vendor datasheets and the paper's roofline plots.
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+// Binary scale factors — memory capacities.
+inline constexpr std::uint64_t kKiB = 1ull << 10;
+inline constexpr std::uint64_t kMiB = 1ull << 20;
+inline constexpr std::uint64_t kGiB = 1ull << 30;
+
+/// Gigabytes-per-second to bytes-per-second.
+constexpr double gb_per_s(double gb) { return gb * kGiga; }
+
+/// Gigaflops to flops-per-second.
+constexpr double gflops(double g) { return g * kGiga; }
+
+/// Microseconds to seconds.
+constexpr double usec(double us) { return us * 1e-6; }
+
+/// Milliseconds to seconds.
+constexpr double msec(double ms) { return ms * 1e-3; }
+
+/// Formats a duration in seconds with an adaptive unit (ns/us/ms/s).
+std::string format_time(double seconds);
+
+/// Formats a byte count with an adaptive binary unit (B/KiB/MiB/GiB).
+std::string format_bytes(double bytes);
+
+/// Formats a rate in flops/s with an adaptive SI unit (flops/Kflops/...).
+std::string format_flops(double flops_per_s);
+
+/// Formats a bandwidth in bytes/s with an adaptive SI unit.
+std::string format_bandwidth(double bytes_per_s);
+
+}  // namespace prs::units

@@ -1,0 +1,103 @@
+// Calibration constants for the reproduction.
+//
+// Two groups:
+//  1. Per-application measured-efficiency factors — the fraction of the
+//     roofline each app's kernel attains on each device. The paper measures
+//     these implicitly (its "p calculated by app profiling" row in Table 5
+//     and the speedups in §IV.B); we calibrate them once so the *measured*
+//     side of the reproduction lands where the paper's measurements landed.
+//  2. Host-side framework overheads — per-job / per-iteration / per-task /
+//     per-point costs of each runtime (PRS, plain MPI, Mahout/Hadoop),
+//     fitted to Table 3's columns (see DESIGN.md "Calibration" and the
+//     derivations in bench/bench_table3_cmeans_runtimes.cpp).
+//
+// Everything here is a *constant of the simulated testbed*, not a tuning
+// knob the scheduler sees: the analytic model (Eq (8)) never reads these.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace prs::core::calib {
+
+/// Fraction of the device roofline an application kernel attains.
+struct AppEfficiency {
+  double cpu_compute = 1.0;
+  double cpu_memory = 1.0;
+  double gpu_compute = 1.0;
+  double gpu_memory = 1.0;
+};
+
+/// GEMV (cuBLAS / MKL path, §IV.A.3). CPU attains ~28% of the bandwidth
+/// roofline (pageable buffers, no NUMA pinning on the Delta nodes);
+/// calibrated so the profiled split lands at the paper's p = 90.8% and the
+/// GPU+CPU speedup at ~+1011.8%. The GPU side needs no derating: its rate
+/// is PCI-E staging-bound, which the device model charges exactly.
+inline constexpr AppEfficiency kGemv{0.28, 0.28, 1.0, 1.0};
+
+/// C-means (Pangborn CUDA kernels + C++ mapper). Calibrated to the paper's
+/// profiled p = 11.9% and the +11.56% co-processing speedup.
+inline constexpr AppEfficiency kCmeans{0.38, 0.38, 0.35, 0.35};
+
+/// GMM/EM. Higher intensity kernels run closer to peak; calibrated to the
+/// profiled p = 13.1% and the +15.4% speedup.
+inline constexpr AppEfficiency kGmm{0.60, 0.60, 0.50, 0.50};
+
+/// K-means shares C-means' kernels and efficiencies (§IV.A.1: "similar
+/// performance ratios for Kmeans").
+inline constexpr AppEfficiency kKmeans = kCmeans;
+
+/// Generic word-count style text processing: bandwidth-bound scalar code.
+inline constexpr AppEfficiency kWordCount{0.5, 0.5, 0.4, 0.4};
+
+// -- PRS runtime overheads (fitted to Table 3's PRS/GPU column) ---------------
+
+/// One-time cost of starting a PRS job: master/worker handshakes, partition
+/// metadata distribution, daemon spawn-up across the cluster. Fitted to the
+/// intercept of Table 3's PRS/GPU column.
+inline constexpr double kPrsJobStartup = 1.2;
+
+/// Per-iteration fixed cost of the two-level scheduler (partition split,
+/// sub-task scheduler round, result merge bookkeeping).
+inline constexpr double kPrsIterationOverhead = 0.5e-3;
+
+/// Per-task dispatch cost (queue operations, key/value buffer setup,
+/// region-allocator bookkeeping).
+inline constexpr double kPrsTaskDispatch = 5e-6;
+
+/// Per-input-item key/value handling cost on the host (emit + combine
+/// path). Kept small: Figure 6's +11.56% co-processing gain bounds how much
+/// per-item overhead the PRS path can carry (shared costs dilute it).
+inline constexpr double kPrsPerItemOverhead = 2e-9;
+
+// -- plain-MPI baseline overheads (fitted to Table 3's MPI columns) ----------
+
+/// MPI job launch (mpirun + connection setup).
+inline constexpr double kMpiJobStartup = 0.1;
+
+/// Host-side per-point-per-iteration cost of the MPI/GPU reference
+/// implementation (kernel launch batching, pageable-copy bookkeeping).
+/// Fitted to the slope of Table 3's MPI/GPU column net of kernel time.
+inline constexpr double kMpiGpuPerItem = 14e-9;
+
+/// The paper's MPI/CPU reference is an unvectorized C++ implementation
+/// (gcc 4.4.6, §IV): it attains only ~9.5% of the CPU roofline. This is a
+/// property of that baseline binary, not of the hardware.
+inline constexpr double kMpiCpuEfficiency = 0.095;
+
+// -- Mahout/Hadoop baseline (fitted to Table 3's Mahout row) -----------------
+
+/// Per-iteration Hadoop job submission + JVM spin-up + scheduling.
+inline constexpr double kHadoopPerIterationLaunch = 1.7;
+
+/// Per-point-per-iteration HDFS read/write + serialization cost.
+inline constexpr double kHadoopPerItem = 1.2e-6;
+
+// -- shared workload conventions ----------------------------------------------
+
+/// Number of C-means iterations behind Table 3's timings. The paper does
+/// not state it; fitting the MPI/GPU column against the calibrated device
+/// model yields ~300 (see bench_table3): 300 * (N/4 * 5*M*D flops / Fg)
+/// reproduces 0.53 / 0.945 / 1.78 s almost exactly.
+inline constexpr int kTable3Iterations = 300;
+
+}  // namespace prs::core::calib

@@ -1,0 +1,73 @@
+// The simulated GPU+CPU cluster the PRS runs on: fat nodes on a common
+// fabric, plus per-node analytic schedulers built from their device specs.
+//
+// Nodes may be homogeneous (the paper's evaluated case — one NodeConfig for
+// all) or inhomogeneous (the paper's §III.B.3.a / future-work case: the
+// master task scheduler uses Eq (8)-derived capabilities to split input
+// "among homogeneous or inhomogeneous fat nodes").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/fat_node.hpp"
+#include "roofline/analytic_scheduler.hpp"
+#include "simnet/fabric.hpp"
+#include "simtime/simulator.hpp"
+
+namespace prs::core {
+
+/// Default interconnect: GigE-class links as on the paper's testbeds
+/// (125 MB/s effective, 50 us end-to-end MPI latency — the combination that
+/// reproduces the ~5% global-reduction overhead at 8 nodes in Fig. 6).
+simnet::FabricSpec default_fabric_spec();
+
+class Cluster {
+ public:
+  /// Homogeneous cluster: every node uses `node_config`.
+  Cluster(sim::Simulator& sim, int nodes, NodeConfig node_config,
+          simnet::FabricSpec fabric_spec);
+  Cluster(sim::Simulator& sim, int nodes, NodeConfig node_config)
+      : Cluster(sim, nodes, std::move(node_config), default_fabric_spec()) {}
+
+  /// Inhomogeneous cluster: one config per node.
+  Cluster(sim::Simulator& sim, std::vector<NodeConfig> node_configs,
+          simnet::FabricSpec fabric_spec);
+  Cluster(sim::Simulator& sim, std::vector<NodeConfig> node_configs)
+      : Cluster(sim, std::move(node_configs), default_fabric_spec()) {}
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  sim::Simulator& simulator() { return sim_; }
+  FatNode& node(int rank);
+  simnet::Fabric& fabric() { return *fabric_; }
+
+  /// Device configuration of one node (all nodes share index 0's config in
+  /// the homogeneous case).
+  const NodeConfig& node_config(int rank = 0) const;
+
+  /// True when every node has the same device configuration.
+  bool homogeneous() const { return homogeneous_; }
+
+  /// The roofline-derived analytic scheduler for one node's hardware.
+  const roofline::AnalyticScheduler& scheduler(int rank = 0) const;
+
+  // Aggregated utilization across all nodes.
+  double total_cpu_busy() const;
+  double total_gpu_busy() const;
+  double total_cpu_flops() const;
+  double total_gpu_flops() const;
+  double total_pcie_bytes() const;
+  void reset_counters();
+
+ private:
+  void build(const std::vector<NodeConfig>& configs);
+
+  sim::Simulator& sim_;
+  std::vector<NodeConfig> node_configs_;
+  bool homogeneous_ = true;
+  std::unique_ptr<simnet::Fabric> fabric_;
+  std::vector<std::unique_ptr<FatNode>> nodes_;
+  std::vector<std::unique_ptr<roofline::AnalyticScheduler>> schedulers_;
+};
+
+}  // namespace prs::core

@@ -1,0 +1,41 @@
+#include "core/fat_node.hpp"
+
+namespace prs::core {
+
+FatNode::FatNode(sim::Simulator& sim, const NodeConfig& cfg, int node_id)
+    : id_(node_id), cpu_(sim, cfg.cpu, cfg.reserved_cpu_cores) {
+  PRS_REQUIRE(cfg.gpus_per_node >= 0, "gpus_per_node must be >= 0");
+  for (int i = 0; i < cfg.gpus_per_node; ++i) {
+    gpus_.push_back(std::make_unique<simdev::GpuDevice>(sim, cfg.gpu));
+  }
+}
+
+simdev::GpuDevice& FatNode::gpu(int i) {
+  PRS_REQUIRE(i >= 0 && i < gpu_count(), "GPU index out of range");
+  return *gpus_[static_cast<std::size_t>(i)];
+}
+
+double FatNode::gpu_busy() const {
+  double t = 0.0;
+  for (const auto& g : gpus_) t += g->compute_busy_time();
+  return t;
+}
+
+double FatNode::gpu_flops() const {
+  double f = 0.0;
+  for (const auto& g : gpus_) f += g->flops_executed();
+  return f;
+}
+
+double FatNode::pcie_bytes() const {
+  double b = 0.0;
+  for (const auto& g : gpus_) b += g->pcie_bytes();
+  return b;
+}
+
+void FatNode::reset_counters() {
+  cpu_.reset_counters();
+  for (auto& g : gpus_) g->reset_counters();
+}
+
+}  // namespace prs::core

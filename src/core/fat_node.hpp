@@ -1,0 +1,62 @@
+// A "fat node": host CPUs plus attached GPUs (paper §I).
+//
+// One FatNode owns the simulated devices of one cluster node and the
+// region-based memory pool its device daemons allocate intermediates from
+// (§III.C.2). Device daemons themselves are spawned per job by the job
+// runner; the node is the long-lived hardware container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simdev/cpu_device.hpp"
+#include "simdev/device_spec.hpp"
+#include "simdev/gpu_device.hpp"
+#include "simdev/region.hpp"
+#include "simtime/simulator.hpp"
+
+namespace prs::core {
+
+/// Hardware configuration of every node in a cluster (homogeneous fat
+/// nodes, the case the paper studies).
+struct NodeConfig {
+  simdev::DeviceSpec cpu = simdev::delta_cpu();
+  simdev::DeviceSpec gpu = simdev::delta_c2070();
+  int gpus_per_node = 1;
+  /// CPU cores the runtime may use (0 = all). The paper spawns one daemon
+  /// thread per GPU plus one for the CPU cores.
+  int reserved_cpu_cores = 0;
+};
+
+class FatNode {
+ public:
+  FatNode(sim::Simulator& sim, const NodeConfig& cfg, int node_id);
+  FatNode(const FatNode&) = delete;
+  FatNode& operator=(const FatNode&) = delete;
+
+  int id() const { return id_; }
+  simdev::CpuDevice& cpu() { return cpu_; }
+  const simdev::CpuDevice& cpu() const { return cpu_; }
+  simdev::GpuDevice& gpu(int i = 0);
+  int gpu_count() const { return static_cast<int>(gpus_.size()); }
+
+  /// Region-based pool for intermediate key/value storage; cleared (freed
+  /// all at once) when a job finishes on this node.
+  simdev::Region& region() { return region_; }
+
+  /// Sum of utilization counters across this node's devices.
+  double cpu_busy() const { return cpu_.busy_time(); }
+  double gpu_busy() const;
+  double cpu_flops() const { return cpu_.flops_executed(); }
+  double gpu_flops() const;
+  double pcie_bytes() const;
+  void reset_counters();
+
+ private:
+  int id_;
+  simdev::CpuDevice cpu_;
+  std::vector<std::unique_ptr<simdev::GpuDevice>> gpus_;
+  simdev::Region region_;
+};
+
+}  // namespace prs::core

@@ -1,0 +1,148 @@
+// Iterative-application support (paper §III.C.3).
+//
+// C-means and GMM re-run the map/reduce pipeline every iteration over
+// loop-invariant input (the event matrix) plus a small evolving state (the
+// cluster parameters). The paper's runtime:
+//   * caches the invariant data in GPU memory once, so iterations skip the
+//     PCI-E staging (the GPU device daemon is the only GPU-context holder);
+//   * treats the initial staging as one-off, amortized overhead that is
+//     excluded from iteration timing (§IV.B);
+//   * broadcasts the evolving state to all nodes each iteration.
+//
+// The driver below implements exactly that on top of run_job(). The
+// application updates its state inside `on_iteration` (its map lambdas
+// capture the state by shared pointer) and returns whether to continue.
+#pragma once
+
+#include <functional>
+
+#include "core/job_runner.hpp"
+
+namespace prs::core {
+namespace detail {
+
+inline constexpr int kStateBroadcastTag = 400;
+
+/// Broadcasts `state_bytes` of iteration state from the master and charges
+/// the fabric for it.
+inline sim::Process broadcast_state(Cluster& cluster, int rank,
+                                    double state_bytes,
+                                    std::shared_ptr<int> remaining) {
+  auto& comm = cluster.fabric().comm(rank);
+  simnet::Message mine =
+      rank == 0 ? simnet::Message{state_bytes, true} : simnet::Message{};
+  auto b = comm.broadcast(0, std::move(mine), kStateBroadcastTag);
+  (void)co_await b;
+  --*remaining;
+}
+
+/// Charges the one-time host->GPU staging of the cached invariant data.
+inline sim::Process stage_invariant_data(Cluster& cluster, int rank,
+                                         double bytes,
+                                         std::shared_ptr<int> remaining) {
+  auto& node = cluster.node(rank);
+  if (node.gpu_count() > 0 && bytes > 0.0) {
+    auto copy = node.gpu().default_stream().memcpy_h2d(bytes);
+    co_await copy;
+  }
+  --*remaining;
+}
+
+}  // namespace detail
+
+/// Result of an iterative run: final output plus accumulated statistics.
+/// `stats.elapsed` covers the iterations only; `staging_time` holds the
+/// one-off initial staging the paper amortizes away.
+template <typename K, typename V>
+struct IterativeResult {
+  JobResult<K, V> last;
+  JobStats stats;         // accumulated over iterations
+  double staging_time = 0.0;
+  int iterations = 0;
+};
+
+/// Runs up to `max_iterations` map/reduce rounds. After each round,
+/// `on_iteration(iter, result)` inspects the master's output, updates the
+/// application state captured by the spec's lambdas, and returns true to
+/// continue. `state_bytes` is the per-iteration broadcast size of that
+/// state (e.g. the cluster-centers matrix).
+template <typename K, typename V>
+IterativeResult<K, V> run_iterative(
+    Cluster& cluster, const MapReduceSpec<K, V>& spec, const JobConfig& cfg,
+    std::size_t n_items, int max_iterations,
+    const std::function<bool(int, const std::map<K, V>&)>& on_iteration,
+    double state_bytes = 0.0) {
+  PRS_REQUIRE(max_iterations >= 1, "need at least one iteration");
+  auto& sim = cluster.simulator();
+  IterativeResult<K, V> out;
+
+  // One-off staging of the loop-invariant data into GPU memory. The data
+  // stays allocated for the whole iterative run, so it must actually fit
+  // (a C2070 has 6 GB, Table 4) — allocation failures surface here rather
+  // than as mysterious mid-job errors.
+  std::vector<simdev::DeviceAllocation> cached_allocations;
+  if (spec.gpu_data_cached && cfg.use_gpu) {
+    const double t0 = sim.now();
+    auto remaining = std::make_shared<int>(cluster.size());
+    const double bytes_per_node = static_cast<double>(n_items) *
+                                  spec.item_bytes /
+                                  static_cast<double>(cluster.size());
+    for (int r = 0; r < cluster.size(); ++r) {
+      auto& node = cluster.node(r);
+      if (node.gpu_count() > 0) {
+        // The invariant data is spread across the node's cards.
+        const auto per_card = static_cast<std::uint64_t>(
+            bytes_per_node / node.gpu_count());
+        for (int g = 0; g < node.gpu_count(); ++g) {
+          cached_allocations.push_back(node.gpu(g).allocate(per_card));
+        }
+      }
+      sim.spawn(detail::stage_invariant_data(cluster, r, bytes_per_node,
+                                             remaining));
+    }
+    sim.run();
+    PRS_CHECK(*remaining == 0, "staging did not complete");
+    out.staging_time = sim.now() - t0;
+  }
+
+  const double iter_t0 = sim.now();
+  JobConfig iter_cfg = cfg;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    iter_cfg.charge_job_startup = cfg.charge_job_startup && iter == 0;
+
+    // Broadcast the evolving state (cluster centers etc.).
+    if (state_bytes > 0.0 && cluster.size() > 1) {
+      auto remaining = std::make_shared<int>(cluster.size());
+      for (int r = 0; r < cluster.size(); ++r) {
+        sim.spawn(detail::broadcast_state(cluster, r, state_bytes,
+                                          remaining));
+      }
+      sim.run();
+      PRS_CHECK(*remaining == 0, "state broadcast did not complete");
+    }
+
+    out.last = run_job(cluster, spec, iter_cfg, n_items);
+    out.stats.cpu_busy += out.last.stats.cpu_busy;
+    out.stats.gpu_busy += out.last.stats.gpu_busy;
+    out.stats.cpu_flops += out.last.stats.cpu_flops;
+    out.stats.gpu_flops += out.last.stats.gpu_flops;
+    out.stats.pcie_bytes += out.last.stats.pcie_bytes;
+    out.stats.network_bytes += out.last.stats.network_bytes;
+    out.stats.map_tasks += out.last.stats.map_tasks;
+    out.stats.reduce_tasks += out.last.stats.reduce_tasks;
+    out.stats.intermediate_pairs += out.last.stats.intermediate_pairs;
+    out.stats.startup_time += out.last.stats.startup_time;
+    out.stats.map_time += out.last.stats.map_time;
+    out.stats.shuffle_time += out.last.stats.shuffle_time;
+    out.stats.reduce_time += out.last.stats.reduce_time;
+    out.stats.gather_time += out.last.stats.gather_time;
+    ++out.iterations;
+
+    if (!on_iteration(iter, out.last.output)) break;
+  }
+  out.stats.elapsed = sim.now() - iter_t0;
+  out.stats.iterations = out.iterations;
+  return out;
+}
+
+}  // namespace prs::core

@@ -1,0 +1,33 @@
+#include "core/job.hpp"
+
+namespace prs::core {
+
+std::vector<InputSlice> InputSlice::blocks(std::size_t n) const {
+  PRS_REQUIRE(n >= 1, "need at least one block");
+  std::vector<InputSlice> out;
+  const std::size_t total = size();
+  if (total == 0) return out;
+  const std::size_t count = std::min(n, total);
+  std::size_t cursor = begin;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Distribute the remainder over the first blocks.
+    const std::size_t len = total / count + (i < total % count ? 1 : 0);
+    out.push_back(InputSlice{cursor, cursor + len});
+    cursor += len;
+  }
+  PRS_CHECK(cursor == end, "blocks must cover the slice exactly");
+  return out;
+}
+
+std::vector<InputSlice> InputSlice::blocks_of(
+    std::size_t items_per_block) const {
+  PRS_REQUIRE(items_per_block >= 1, "block size must be positive");
+  std::vector<InputSlice> out;
+  for (std::size_t cursor = begin; cursor < end;
+       cursor += items_per_block) {
+    out.push_back(InputSlice{cursor, std::min(cursor + items_per_block, end)});
+  }
+  return out;
+}
+
+}  // namespace prs::core

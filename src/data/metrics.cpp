@@ -1,0 +1,116 @@
+#include "data/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <span>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace prs::data {
+namespace {
+
+/// Contingency table between two labelings, plus marginals.
+struct Contingency {
+  std::map<std::pair<int, int>, std::size_t> cells;
+  std::map<int, std::size_t> row_sums;  // first labeling
+  std::map<int, std::size_t> col_sums;  // second labeling
+  std::size_t n = 0;
+};
+
+Contingency build_contingency(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  PRS_REQUIRE(a.size() == b.size(), "labelings must have equal length");
+  PRS_REQUIRE(!a.empty(), "labelings must be non-empty");
+  Contingency t;
+  t.n = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++t.cells[{a[i], b[i]}];
+    ++t.row_sums[a[i]];
+    ++t.col_sums[b[i]];
+  }
+  return t;
+}
+
+double choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double average_cluster_width(const linalg::MatrixD& points,
+                             const std::vector<int>& assignment,
+                             const linalg::MatrixD& centers) {
+  PRS_REQUIRE(assignment.size() == points.rows(),
+              "one assignment per point required");
+  PRS_REQUIRE(centers.cols() == points.cols(),
+              "centers must share the point dimensionality");
+  const std::size_t d = points.cols();
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const int c = assignment[i];
+    PRS_REQUIRE(c >= 0 && static_cast<std::size_t>(c) < centers.rows(),
+                "assignment references a missing center");
+    total += std::sqrt(linalg::squared_distance<double>(
+        {points.row(i), d}, {centers.row(static_cast<std::size_t>(c)), d}));
+  }
+  return total / static_cast<double>(points.rows());
+}
+
+double overlap_with_reference(const std::vector<int>& computed,
+                              const std::vector<int>& reference) {
+  const Contingency t = build_contingency(reference, computed);
+  double weighted_f = 0.0;
+  for (const auto& [ref_label, ref_size] : t.row_sums) {
+    double best_f = 0.0;
+    for (const auto& [comp_label, comp_size] : t.col_sums) {
+      const auto it = t.cells.find({ref_label, comp_label});
+      if (it == t.cells.end()) continue;
+      const double inter = static_cast<double>(it->second);
+      const double precision = inter / static_cast<double>(comp_size);
+      const double recall = inter / static_cast<double>(ref_size);
+      const double f = 2.0 * precision * recall / (precision + recall);
+      best_f = std::max(best_f, f);
+    }
+    weighted_f +=
+        best_f * static_cast<double>(ref_size) / static_cast<double>(t.n);
+  }
+  return weighted_f;
+}
+
+double purity(const std::vector<int>& computed,
+              const std::vector<int>& reference) {
+  const Contingency t = build_contingency(computed, reference);
+  // For each computed cluster, count its majority reference label.
+  std::map<int, std::size_t> best_per_cluster;
+  for (const auto& [key, count] : t.cells) {
+    auto& best = best_per_cluster[key.first];
+    best = std::max(best, count);
+  }
+  std::size_t correct = 0;
+  for (const auto& [cluster, best] : best_per_cluster) correct += best;
+  return static_cast<double>(correct) / static_cast<double>(t.n);
+}
+
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  const Contingency t = build_contingency(a, b);
+  double sum_cells = 0.0;
+  for (const auto& [key, count] : t.cells) {
+    sum_cells += choose2(static_cast<double>(count));
+  }
+  double sum_rows = 0.0;
+  for (const auto& [label, count] : t.row_sums) {
+    sum_rows += choose2(static_cast<double>(count));
+  }
+  double sum_cols = 0.0;
+  for (const auto& [label, count] : t.col_sums) {
+    sum_cols += choose2(static_cast<double>(count));
+  }
+  const double total_pairs = choose2(static_cast<double>(t.n));
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // degenerate: single cluster both
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+}  // namespace prs::data

@@ -1,0 +1,41 @@
+// Clustering-quality metrics for the Figure 5 comparison.
+//
+// The paper compares C-means against K-means (and DA) "in terms of average
+// width over clusters and points and clusters overlapping with standard
+// Flame results". We quantify both:
+//   * average_cluster_width — mean distance of points to their assigned
+//     center (lower = tighter clusters);
+//   * overlap_with_reference — best-matching F-measure between a computed
+//     labelling and the ground truth (higher = better agreement);
+//   * purity and adjusted Rand index as additional standard measures.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace prs::data {
+
+/// Mean Euclidean distance from each point to its assigned center.
+/// `assignment[i]` indexes into `centers` rows.
+double average_cluster_width(const linalg::MatrixD& points,
+                             const std::vector<int>& assignment,
+                             const linalg::MatrixD& centers);
+
+/// Best-match F-measure: for each reference cluster take the computed
+/// cluster maximizing F1 of the overlap, weight by reference cluster size.
+/// In [0, 1], 1 = perfect recovery of the reference partition.
+double overlap_with_reference(const std::vector<int>& computed,
+                              const std::vector<int>& reference);
+
+/// Fraction of points whose computed cluster's majority reference label
+/// matches their own. In (0, 1].
+double purity(const std::vector<int>& computed,
+              const std::vector<int>& reference);
+
+/// Adjusted Rand index between two labelings; 1 = identical partitions,
+/// ~0 = random agreement.
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b);
+
+}  // namespace prs::data

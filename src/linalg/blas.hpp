@@ -1,0 +1,133 @@
+// BLAS-subset kernels (reference implementations with exact flop counts).
+//
+// Flop accounting matters more than speed here: the device models charge
+// virtual time from these counts, so each kernel documents its count and
+// the tests assert it.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace prs::linalg {
+
+/// y += alpha * x. Flops: 2n.
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  PRS_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// Dot product. Flops: 2n.
+template <typename T>
+T dot(std::span<const T> x, std::span<const T> y) {
+  PRS_REQUIRE(x.size() == y.size(), "dot size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// Euclidean norm. Flops: 2n (+1 sqrt).
+template <typename T>
+T nrm2(std::span<const T> x) {
+  T acc{};
+  for (const T v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+/// Squared Euclidean distance between two points. Flops: 3n.
+template <typename T>
+T squared_distance(std::span<const T> a, std::span<const T> b) {
+  PRS_REQUIRE(a.size() == b.size(), "distance size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const T d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// y = alpha * A * x + beta * y for row-major A (M x N).
+/// Flops: 2*M*N (+ 2*M for the beta/alpha combine).
+template <typename T>
+void gemv(T alpha, const Matrix<T>& a, std::span<const T> x, T beta,
+          std::span<T> y) {
+  PRS_REQUIRE(x.size() == a.cols(), "gemv: x size must equal cols");
+  PRS_REQUIRE(y.size() == a.rows(), "gemv: y size must equal rows");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const T* row = a.row(r);
+    T acc{};
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    y[r] = alpha * acc + beta * y[r];
+  }
+}
+
+/// Workload helper: flops of gemv on an MxN matrix.
+constexpr double gemv_flops(double m, double n) { return 2.0 * m * n; }
+
+/// C = alpha * A * B + beta * C, row-major, naive triple loop (ikj order).
+/// Flops: 2*M*N*K.
+template <typename T>
+void gemm(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
+          Matrix<T>& c) {
+  PRS_REQUIRE(a.cols() == b.rows(), "gemm: inner dimensions must match");
+  PRS_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm: output shape mismatch");
+  for (auto& v : c.storage()) v *= beta;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    T* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = alpha * a(i, k);
+      const T* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+/// Workload helper: flops of gemm (MxK)*(KxN).
+constexpr double gemm_flops(double m, double n, double k) {
+  return 2.0 * m * n * k;
+}
+
+/// Blocked gemm (cache tiling); same result as gemm, same flop count.
+template <typename T>
+void gemm_blocked(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
+                  Matrix<T>& c, std::size_t block = 64) {
+  PRS_REQUIRE(a.cols() == b.rows(), "gemm: inner dimensions must match");
+  PRS_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm: output shape mismatch");
+  PRS_REQUIRE(block > 0, "block size must be positive");
+  for (auto& v : c.storage()) v *= beta;
+  const std::size_t m = a.rows(), n = b.cols(), kk = a.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += block) {
+    const std::size_t i1 = std::min(i0 + block, m);
+    for (std::size_t k0 = 0; k0 < kk; k0 += block) {
+      const std::size_t k1 = std::min(k0 + block, kk);
+      for (std::size_t j0 = 0; j0 < n; j0 += block) {
+        const std::size_t j1 = std::min(j0 + block, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          T* crow = c.row(i);
+          for (std::size_t k = k0; k < k1; ++k) {
+            const T aik = alpha * a(i, k);
+            const T* brow = b.row(k);
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Transpose. No flops (data movement only).
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  }
+  return t;
+}
+
+}  // namespace prs::linalg

@@ -1,0 +1,90 @@
+#include "linalg/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace prs::linalg {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t log2_of(std::size_t n) {
+  std::size_t bits = 0;
+  while ((1ull << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  PRS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  const std::size_t bits = log2_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      rev |= ((i >> b) & 1u) << (bits - 1 - b);
+    }
+    if (i < rev) std::swap(data[i], data[rev]);
+  }
+
+  // Butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t start = 0; start < n; start += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[start + k];
+        const Complex v = data[start + k + len / 2] * w;
+        data[start + k] = u + v;
+        data[start + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      out[k] += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : out) x *= inv_n;
+  }
+  return out;
+}
+
+double fft_flops(std::size_t n) {
+  PRS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  if (n <= 1) return 0.0;
+  const auto nd = static_cast<double>(n);
+  return 5.0 * nd * static_cast<double>(log2_of(n));
+}
+
+double fft_arithmetic_intensity(std::size_t n) {
+  PRS_REQUIRE(is_power_of_two(n) && n > 1, "FFT size must be a power of two");
+  return 5.0 * static_cast<double>(log2_of(n));
+}
+
+}  // namespace prs::linalg

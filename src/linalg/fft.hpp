@@ -1,0 +1,36 @@
+// Radix-2 complex FFT (iterative Cooley-Tukey) and a reference DFT.
+//
+// The paper places FFT in the middle band of the arithmetic-intensity
+// spectrum (Figure 4, §I: "applications with moderate arithmetic
+// intensity, such as FFT and Kmeans, the performance bottleneck lies in
+// the DRAM and PCI-E bandwidth"). apps/fftbatch builds an SPMD batch-FFT
+// application on top of these kernels.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace prs::linalg {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+/// `inverse` applies the conjugate transform with 1/N normalization.
+void fft(std::vector<Complex>& data, bool inverse = false);
+
+/// O(N^2) reference DFT (for tests).
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   bool inverse = false);
+
+/// Flops of one radix-2 FFT of size n: ~5 n log2(n)
+/// (one complex multiply (6) + two adds (4) per butterfly, n/2 log2 n
+/// butterflies — the standard accounting).
+double fft_flops(std::size_t n);
+
+/// Arithmetic intensity of an FFT of size n under the paper's
+/// element-counted convention: 5*log2(n) flops per touched element.
+double fft_arithmetic_intensity(std::size_t n);
+
+}  // namespace prs::linalg

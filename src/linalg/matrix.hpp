@@ -1,0 +1,64 @@
+// Dense row-major matrix/vector containers used by the applications.
+//
+// Deliberately minimal: the paper treats BLAS as a black box (cuBLAS/MKL);
+// the reproduction needs correct kernels with known flop counts, not tuned
+// ones. All functional app payloads (GEMV, C-means distances, GMM E/M
+// steps) run on these types.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace prs::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    PRS_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    PRS_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() elements).
+  T* row(std::size_t r) {
+    PRS_REQUIRE(r < rows_, "row index out of range");
+    return data_.data() + r * cols_;
+  }
+  const T* row(std::size_t r) const {
+    PRS_REQUIRE(r < rows_, "row index out of range");
+    return data_.data() + r * cols_;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+}  // namespace prs::linalg

@@ -1,0 +1,145 @@
+#include "roofline/analytic_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace prs::roofline {
+
+AnalyticScheduler::AnalyticScheduler(simdev::DeviceSpec cpu,
+                                     simdev::DeviceSpec gpu)
+    : cpu_(std::move(cpu)), gpu_(std::move(gpu)) {
+  PRS_REQUIRE(cpu_.spec().kind == simdev::DeviceKind::kCpu,
+              "first spec must be a CPU");
+  PRS_REQUIRE(gpu_.spec().kind == simdev::DeviceKind::kGpu,
+              "second spec must be a GPU");
+}
+
+WorkloadSplit AnalyticScheduler::workload_split(double ai_cpu, double ai_gpu,
+                                                bool gpu_staged,
+                                                int gpu_count) const {
+  PRS_REQUIRE(ai_cpu > 0.0 && ai_gpu > 0.0,
+              "arithmetic intensities must be positive");
+  PRS_REQUIRE(gpu_count >= 1, "need at least one GPU for a split");
+
+  // Eq (6): Fc = Ac * B_dram below the CPU ridge, Pc above.
+  const double fc = cpu_.attainable_flops(ai_cpu);
+  // Eq (7): staged GPUs pay DRAM + PCI-E serially; cached (iterative) data
+  // uses the resident roofline (paper §IV.B: "the average arithmetic
+  // intensity of C-means and GMM depends on the bandwidth of DRAM and peak
+  // performance of GPU, rather than bandwidth of PCI-E bus"). Several
+  // cards aggregate (each has its own PCI-E link and memory).
+  const double fg = static_cast<double>(gpu_count) *
+                    (gpu_staged ? gpu_.attainable_flops_staged(ai_gpu)
+                                : gpu_.attainable_flops(ai_gpu));
+
+  WorkloadSplit split;
+  split.cpu_rate = fc;
+  split.gpu_rate = fg;
+  // Eq (5): balance Tc_p = Tg_p  =>  p = Fc / (Fc + Fg).
+  split.cpu_fraction = fc / (fc + fg);
+
+  const double acr = cpu_.ridge_point();
+  const double agr =
+      gpu_staged ? gpu_.ridge_point_staged() : gpu_.ridge_point();
+  // Classify with the application's mean intensity, as the paper does.
+  const double a = 0.5 * (ai_cpu + ai_gpu);
+  if (a < acr) {
+    split.regime = SplitRegime::kBelowCpuRidge;
+  } else if (a < agr) {
+    split.regime = SplitRegime::kBetweenRidges;
+  } else {
+    split.regime = SplitRegime::kAboveGpuRidge;
+  }
+  return split;
+}
+
+AnalyticScheduler::NetworkedSplit AnalyticScheduler::workload_split_networked(
+    double ai_cpu, double ai_gpu, bool gpu_staged, int gpu_count,
+    double network_bandwidth) const {
+  PRS_REQUIRE(network_bandwidth > 0.0, "network bandwidth must be positive");
+  NetworkedSplit out;
+  out.split = workload_split(ai_cpu, ai_gpu, gpu_staged, gpu_count);
+  // split.gpu_rate is already the gpu_count-aggregated Fg_total.
+  out.compute_rate = out.split.cpu_rate + out.split.gpu_rate;
+  // Streaming input over the link at B_net sustains at most A*B_net flop/s
+  // (same derivation as the DRAM bound in Eq (6)).
+  const double a = 0.5 * (ai_cpu + ai_gpu);
+  out.network_rate = a * network_bandwidth;
+  out.node_rate = std::min(out.compute_rate, out.network_rate);
+  out.network_bound = out.network_rate < out.compute_rate;
+  return out;
+}
+
+double AnalyticScheduler::overlap_percentage(double ai_gpu) const {
+  PRS_REQUIRE(ai_gpu > 0.0, "arithmetic intensity must be positive");
+  const auto& g = gpu_.spec();
+  PRS_REQUIRE(g.pcie_bandwidth > 0.0, "overlap needs a PCI-E bandwidth");
+  // Eq (9) with the block size cancelled: per byte of block,
+  //   transfer cost  = 1/B_dram + 1/B_pcie
+  //   compute cost   = Ag / Pg
+  const double transfer = 1.0 / g.dram_bandwidth + 1.0 / g.pcie_bandwidth;
+  const double compute = ai_gpu / g.peak_flops;
+  return transfer / (transfer + compute);
+}
+
+std::optional<double> AnalyticScheduler::min_block_size(
+    const AiOfBlock& ai_of_block, double lo_bytes, double hi_bytes) const {
+  PRS_REQUIRE(ai_of_block != nullptr, "need an AI function");
+  PRS_REQUIRE(lo_bytes > 0.0 && hi_bytes >= lo_bytes,
+              "invalid block-size search range");
+  const double target = gpu_.ridge_point_staged();  // Agr in Eq (11)
+
+  if (ai_of_block(hi_bytes) < target) return std::nullopt;
+  if (ai_of_block(lo_bytes) >= target) return lo_bytes;
+
+  // Bisection on the monotone AI function: find the smallest Bs with
+  // Fag(Bs) >= Agr, i.e. MinBs = Fag^{-1}(Agr).
+  double lo = lo_bytes, hi = hi_bytes;
+  for (int it = 0; it < 200 && (hi - lo) > 1.0; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (ai_of_block(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+int AnalyticScheduler::recommended_streams(double partition_bytes,
+                                           const AiOfBlock& ai_of_block,
+                                           double op_threshold) const {
+  PRS_REQUIRE(partition_bytes > 0.0, "partition must be non-empty");
+  PRS_REQUIRE(op_threshold > 0.0 && op_threshold < 1.0,
+              "overlap threshold must be in (0, 1)");
+  // Degenerate sub-byte partitions (tiny inputs after the CPU/GPU split)
+  // cannot be usefully streamed.
+  if (partition_bytes < 1.0) return 1;
+
+  // Requirement 1 (§III.B.3.b): enough of the task time is data movement
+  // for overlapping to pay off.
+  const double op = overlap_percentage(ai_of_block(partition_bytes));
+  if (op < op_threshold) return 1;
+
+  // Requirement 2: blocks must still saturate the GPU, i.e. block size
+  // >= MinBs; the stream count is how many MinBs blocks the partition
+  // holds, capped by the hardware work queues.
+  const auto min_bs = min_block_size(ai_of_block, 1.0, partition_bytes);
+  if (!min_bs.has_value()) {
+    // The app never saturates GPU peak; blocks only need to amortize launch
+    // overhead, so allow as many streams as the hardware supports.
+    return std::max(1, gpu_.spec().hardware_queues);
+  }
+  const int blocks = static_cast<int>(partition_bytes / *min_bs);
+  return std::clamp(blocks, 1, std::max(1, gpu_.spec().hardware_queues));
+}
+
+int AnalyticScheduler::cpu_block_count(int cores, int multiplier) {
+  PRS_REQUIRE(cores >= 1, "need at least one core");
+  PRS_REQUIRE(multiplier >= 1, "multiplier must be >= 1");
+  return cores * multiplier;
+}
+
+}  // namespace prs::roofline

@@ -1,0 +1,114 @@
+// The paper's analytic scheduling model (its core contribution).
+//
+// From the CPU and GPU rooflines it derives, with no profiling runs:
+//   * the optimal CPU workload fraction p (Eqs (1)-(8));
+//   * the copy/compute overlap percentage op for CUDA streams (Eq (9));
+//   * the minimal GPU block size MinBs that saturates the GPU (Eqs (10)-(11));
+//   * task-granularity recommendations for both devices (§III.B.3.b).
+//
+// Note on Eq (8): the printed first case in the paper is dimensionally
+// inconsistent; we implement the consistent derivation from Eqs (5)-(7)
+// (Fc and Fg from the rooflines, p = Fc/(Fc+Fg)), which reproduces the
+// paper's reported p values (see DESIGN.md "errata").
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "roofline/roofline.hpp"
+#include "simdev/device_spec.hpp"
+
+namespace prs::roofline {
+
+/// Which part of Eq (8) applied (for reporting and tests).
+enum class SplitRegime {
+  kBelowCpuRidge,   // A < Acr: both devices bandwidth-bound
+  kBetweenRidges,   // Acr <= A < Agr: CPU at peak, GPU staging-bound
+  kAboveGpuRidge,   // Agr <= A: both at peak, p = Pc / (Pc + Pg)
+};
+
+/// Result of the workload-distribution model.
+struct WorkloadSplit {
+  /// Fraction p of the input processed by the CPU (Eq (5)/(8)).
+  double cpu_fraction = 0.0;
+  /// Effective CPU rate Fc used in the derivation (flops/s).
+  double cpu_rate = 0.0;
+  /// Effective GPU rate Fg used in the derivation (flops/s).
+  double gpu_rate = 0.0;
+  SplitRegime regime = SplitRegime::kBelowCpuRidge;
+};
+
+/// Arithmetic intensity of an application as a function of its block size
+/// in bytes (the paper's Fag, Eq (10)). Must be monotone non-decreasing.
+using AiOfBlock = std::function<double(double block_bytes)>;
+
+class AnalyticScheduler {
+ public:
+  AnalyticScheduler(simdev::DeviceSpec cpu, simdev::DeviceSpec gpu);
+
+  const RooflineModel& cpu_roofline() const { return cpu_; }
+  const RooflineModel& gpu_roofline() const { return gpu_; }
+
+  /// Eq (8) (corrected form): optimal CPU fraction for an application with
+  /// arithmetic intensities `ai_cpu` (Ac) and `ai_gpu` (Ag).
+  /// `gpu_staged` selects whether GPU input pays PCI-E staging every pass
+  /// (true, e.g. single-pass GEMV) or is cached in device memory across
+  /// iterations (false, e.g. C-means/GMM event data — paper §III.C.3).
+  /// `gpu_count` extends the model to fat nodes with several GPU cards
+  /// (Delta has two C2070s, Table 4): each card contributes its own Fg and
+  /// its own PCI-E link, so Fg_total = gpu_count * Fg.
+  WorkloadSplit workload_split(double ai_cpu, double ai_gpu, bool gpu_staged,
+                               int gpu_count = 1) const;
+
+  /// Convenience for apps with Ac ~= Ag (the common case, Eq (5)).
+  WorkloadSplit workload_split(double ai, bool gpu_staged,
+                               int gpu_count = 1) const {
+    return workload_split(ai, ai, gpu_staged, gpu_count);
+  }
+
+  /// Future-work extension (a) of the paper: Eq (8) "can also be extended
+  /// by considering the bandwidth of the network in order to schedule
+  /// communication intensive tasks". When every pass pulls its input over
+  /// the node's network link, the node-level rate is additionally capped by
+  /// A * B_net; the CPU/GPU split inside the node is unchanged.
+  struct NetworkedSplit {
+    WorkloadSplit split;          // p between CPU and GPU (Eq (8))
+    double compute_rate = 0.0;    // Fc + gpu_count * Fg (flops/s)
+    double network_rate = 0.0;    // A * B_net (flops/s)
+    double node_rate = 0.0;       // min of the two
+    bool network_bound = false;   // network_rate < compute_rate
+  };
+  NetworkedSplit workload_split_networked(double ai_cpu, double ai_gpu,
+                                          bool gpu_staged, int gpu_count,
+                                          double network_bandwidth) const;
+
+  /// Eq (9): fraction of a GPU task's total time spent on data movement —
+  /// the share that CUDA streams can hide. Independent of block size for
+  /// constant-AI kernels; pass Fag(Bs) for size-dependent kernels.
+  double overlap_percentage(double ai_gpu) const;
+
+  /// Eq (11): minimal block size (bytes) at which the application's
+  /// arithmetic intensity reaches the GPU's staged ridge point, i.e. the
+  /// smallest block saturating GPU peak. Searches [lo_bytes, hi_bytes] by
+  /// bisection; nullopt when even hi_bytes does not reach the ridge
+  /// (constant-AI apps below the ridge never saturate the GPU).
+  std::optional<double> min_block_size(const AiOfBlock& ai_of_block,
+                                       double lo_bytes, double hi_bytes) const;
+
+  /// §III.B.3.b decision rule for multi-stream execution: use streams when
+  /// the overlap percentage exceeds `op_threshold` AND the partition is at
+  /// least two MinBs blocks. Returns the stream count (1 = no streaming),
+  /// capped by the GPU's hardware queues.
+  int recommended_streams(double partition_bytes, const AiOfBlock& ai_of_block,
+                          double op_threshold = 0.2) const;
+
+  /// The paper's CPU splitting pattern: #blocks = multiplier x cores, which
+  /// balances load across cores with low scheduling overhead.
+  static int cpu_block_count(int cores, int multiplier = 4);
+
+ private:
+  RooflineModel cpu_;
+  RooflineModel gpu_;
+};
+
+}  // namespace prs::roofline

@@ -1,0 +1,68 @@
+#include "simdev/cpu_device.hpp"
+
+#include <algorithm>
+
+#include "simtime/process.hpp"
+
+namespace prs::simdev {
+
+CpuDevice::CpuDevice(sim::Simulator& sim, DeviceSpec spec, int reserved_cores)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      cores_in_use_(reserved_cores > 0
+                        ? std::min(reserved_cores, spec_.cores)
+                        : spec_.cores),
+      core_pool_(sim, static_cast<std::size_t>(cores_in_use_)) {
+  PRS_REQUIRE(spec_.kind == DeviceKind::kCpu, "CpuDevice needs a CPU spec");
+  PRS_REQUIRE(spec_.peak_flops > 0.0, "CPU peak flops must be positive");
+  PRS_REQUIRE(spec_.dram_bandwidth > 0.0, "CPU DRAM bandwidth must be > 0");
+  PRS_REQUIRE(spec_.cores >= 1, "CPU needs at least one core");
+}
+
+double CpuDevice::task_duration(const CpuTask& task) const {
+  // Per-core slices of the node's peak rate and DRAM bandwidth; reserving
+  // fewer cores than physically present lowers aggregate throughput because
+  // fewer tasks run concurrently, not because a core gets slower.
+  const double per_core_flops =
+      spec_.peak_flops / static_cast<double>(spec_.cores);
+  const double per_core_bw =
+      spec_.dram_bandwidth / static_cast<double>(spec_.cores);
+  const double compute_t =
+      task.workload.flops / (task.compute_efficiency * per_core_flops);
+  const double memory_t =
+      task.workload.mem_traffic / (task.memory_efficiency * per_core_bw);
+  return std::max(compute_t, memory_t);
+}
+
+sim::Future<sim::Unit> CpuDevice::submit(CpuTask task) {
+  PRS_REQUIRE(task.workload.flops >= 0.0, "task flops must be >= 0");
+  PRS_REQUIRE(task.compute_efficiency > 0.0 && task.compute_efficiency <= 1.0,
+              "compute efficiency must be in (0, 1]");
+  PRS_REQUIRE(task.memory_efficiency > 0.0 && task.memory_efficiency <= 1.0,
+              "memory efficiency must be in (0, 1]");
+  sim::Promise<sim::Unit> done(sim_);
+  auto fut = done.get_future();
+  sim_.spawn(task_worker(std::move(task), std::move(done)));
+  return fut;
+}
+
+sim::Process CpuDevice::task_worker(CpuTask task,
+                                    sim::Promise<sim::Unit> done) {
+  co_await core_pool_.acquire();
+  sim::ResourceGuard core(core_pool_, 1);
+  const double t = task_duration(task);
+  co_await sim::delay(sim_, t);
+  busy_time_ += t;
+  flops_executed_ += task.workload.flops;
+  ++tasks_executed_;
+  if (task.body) task.body();
+  done.set_value(sim::Unit{});
+}
+
+void CpuDevice::reset_counters() {
+  busy_time_ = 0.0;
+  flops_executed_ = 0.0;
+  tasks_executed_ = 0;
+}
+
+}  // namespace prs::simdev

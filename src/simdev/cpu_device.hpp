@@ -1,0 +1,75 @@
+// CPU device model: a pool of cores executing tasks on the virtual clock.
+//
+// Each submitted task occupies one core; its duration follows the roofline
+// with per-core slices of peak performance and DRAM bandwidth:
+//     t = max(flops / (eff_c * peak/cores),
+//             mem_traffic / (eff_m * dram_bw/cores))
+// When all cores are busy the aggregate rate is therefore
+// min(eff_c * peak, AI * eff_m * dram_bw) — exactly the CPU roofline the
+// paper's Eq (6) assumes. (With fewer running tasks than cores the model
+// under-uses DRAM slightly; the PRS always oversubscribes cores, so the
+// saturated regime is the one that matters.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "simdev/device_spec.hpp"
+#include "simdev/workload.hpp"
+#include "simtime/future.hpp"
+#include "simtime/resource.hpp"
+#include "simtime/simulator.hpp"
+
+namespace prs::simdev {
+
+/// A task to run on one CPU core.
+struct CpuTask {
+  std::string name;
+  Workload workload;
+  /// Fraction of per-core peak flops attained (calibration).
+  double compute_efficiency = 1.0;
+  /// Fraction of per-core DRAM bandwidth attained.
+  double memory_efficiency = 1.0;
+  /// Functional payload; runs at task completion time.
+  std::function<void()> body;
+};
+
+/// One simulated multi-core CPU (all sockets of a node together).
+class CpuDevice {
+ public:
+  /// `reserved_cores` restricts how many cores the runtime may use
+  /// (0 = all). The paper dedicates all cores minus the GPU daemon thread.
+  CpuDevice(sim::Simulator& sim, DeviceSpec spec, int reserved_cores = 0);
+  CpuDevice(const CpuDevice&) = delete;
+  CpuDevice& operator=(const CpuDevice&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  sim::Simulator& simulator() { return sim_; }
+  int cores() const { return cores_in_use_; }
+
+  /// Submits a task to the core pool; the future resolves at completion.
+  sim::Future<sim::Unit> submit(CpuTask task);
+
+  /// Roofline duration of the task on one core (without queueing).
+  double task_duration(const CpuTask& task) const;
+
+  // Utilization counters (profiling-based splits, Table 5).
+  double busy_time() const { return busy_time_; }
+  double flops_executed() const { return flops_executed_; }
+  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  void reset_counters();
+
+ private:
+  sim::Process task_worker(CpuTask task, sim::Promise<sim::Unit> done);
+
+  sim::Simulator& sim_;
+  DeviceSpec spec_;
+  int cores_in_use_;
+  sim::Resource core_pool_;
+  double busy_time_ = 0.0;
+  double flops_executed_ = 0.0;
+  std::uint64_t tasks_executed_ = 0;
+};
+
+}  // namespace prs::simdev

@@ -1,0 +1,81 @@
+// Hardware device descriptions.
+//
+// A DeviceSpec carries exactly the parameters the paper's roofline-derived
+// scheduler consumes (Table 2): peak flop rate, DRAM bandwidth, PCI-E
+// bandwidth, plus queueing properties (hardware work queues: 1 on Fermi,
+// many on Kepler Hyper-Q) and capacity limits. Factory functions return the
+// calibrated specs of the paper's testbeds (Table 4: FutureGrid "Delta" and
+// IU "BigRed2").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prs::simdev {
+
+enum class DeviceKind { kCpu, kGpu };
+
+/// Static description of one compute device.
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+
+  /// Peak flop rate of the whole device (flops/s).
+  double peak_flops = 0.0;
+
+  /// Bandwidth of the device's own memory (bytes/s). For the CPU this is
+  /// host DRAM; for the GPU it is device global memory.
+  double dram_bandwidth = 0.0;
+
+  /// Host<->device bandwidth over PCI-E (bytes/s); 0 for CPUs, which access
+  /// host DRAM directly.
+  double pcie_bandwidth = 0.0;
+
+  /// One-way PCI-E transfer latency (s).
+  double pcie_latency = 0.0;
+
+  /// Physical cores (CPU) or CUDA cores (GPU); CPUs use this to slice peak
+  /// performance and DRAM bandwidth across concurrently running tasks.
+  int cores = 1;
+
+  /// Device memory capacity (bytes).
+  std::uint64_t memory_bytes = 0;
+
+  /// Concurrent hardware work queues: 1 on Fermi (operations from all
+  /// streams serialize), >1 on Kepler Hyper-Q (streams overlap).
+  int hardware_queues = 1;
+
+  /// Fixed overhead charged per kernel launch (s).
+  double kernel_launch_overhead = 0.0;
+
+  /// Ridge point of this device's roofline when data is resident in device
+  /// memory: arithmetic intensity (flops/byte) where the device turns from
+  /// bandwidth-bound to compute-bound.
+  double ridge_point() const { return peak_flops / dram_bandwidth; }
+};
+
+// -- Calibrated testbed devices (paper Table 4 + Figure 3) --------------------
+
+/// Delta node host: 2x Intel Xeon 5660, 12 cores, 192 GB.
+/// Pc = 130 Gflop/s measured peak, B_dram = 40 GB/s.
+DeviceSpec delta_cpu();
+
+/// Delta node accelerator: NVIDIA Tesla C2070 (Fermi), 448 cores, 6 GB.
+/// Pg = 1030 Gflop/s (SP), device DRAM 144 GB/s, effective PCI-E 1.1 GB/s,
+/// one hardware work queue.
+DeviceSpec delta_c2070();
+
+/// BigRed2 node host: AMD Opteron 6212, 32 cores, 62 GB.
+DeviceSpec bigred2_cpu();
+
+/// BigRed2 accelerator: NVIDIA K20 (Kepler), 2496 cores, 5 GB, Hyper-Q.
+DeviceSpec bigred2_k20();
+
+/// Intel Xeon Phi 5110P (MIC) modeled as an accelerator: the paper's
+/// future-work item (b) — "extend the framework to other backend or
+/// accelerators, such as OpenCL, MIC". The device abstraction (peak rate,
+/// GDDR bandwidth, PCI-E staging, concurrent command queues) covers it
+/// without code changes.
+DeviceSpec xeon_phi_5110p();
+
+}  // namespace prs::simdev

@@ -1,0 +1,76 @@
+#include "simdev/region.hpp"
+
+#include <algorithm>
+
+namespace prs::simdev {
+namespace {
+
+constexpr bool is_power_of_two(std::size_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+std::size_t align_up(std::size_t offset, std::size_t alignment) {
+  return (offset + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+Region::Region(std::size_t initial_chunk_bytes, std::size_t max_chunk_bytes)
+    : next_chunk_bytes_(initial_chunk_bytes),
+      max_chunk_bytes_(max_chunk_bytes) {
+  PRS_REQUIRE(initial_chunk_bytes > 0, "initial chunk must be non-empty");
+  PRS_REQUIRE(max_chunk_bytes >= initial_chunk_bytes,
+              "max chunk must be >= initial chunk");
+}
+
+void* Region::allocate(std::size_t bytes, std::size_t alignment) {
+  PRS_REQUIRE(is_power_of_two(alignment), "alignment must be a power of two");
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers for 0-byte asks
+
+  // Alignment must hold for the absolute address, not the chunk offset.
+  auto aligned_offset = [&](const Chunk& c) {
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    return align_up(base + c.used, alignment) - base;
+  };
+
+  if (chunks_.empty()) add_chunk(bytes + alignment);
+  Chunk* c = &chunks_.back();
+  std::size_t offset = aligned_offset(*c);
+  if (offset + bytes > c->size) {
+    add_chunk(bytes + alignment);
+    c = &chunks_.back();
+    offset = aligned_offset(*c);
+    PRS_CHECK(offset + bytes <= c->size, "fresh chunk too small");
+  }
+  c->used = offset + bytes;
+  bytes_allocated_ += bytes;
+  ++allocation_count_;
+  return c->data.get() + offset;
+}
+
+void Region::clear() {
+  if (chunks_.empty()) return;
+  // Keep the largest chunk to serve the next batch without re-reserving.
+  auto largest = std::max_element(
+      chunks_.begin(), chunks_.end(),
+      [](const Chunk& a, const Chunk& b) { return a.size < b.size; });
+  Chunk kept = std::move(*largest);
+  kept.used = 0;
+  chunks_.clear();
+  bytes_reserved_ = kept.size;
+  chunks_.push_back(std::move(kept));
+  bytes_allocated_ = 0;
+  allocation_count_ = 0;
+}
+
+void Region::add_chunk(std::size_t at_least) {
+  const std::size_t size = std::max(at_least, next_chunk_bytes_);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  chunks_.push_back(std::move(c));
+  bytes_reserved_ += size;
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, max_chunk_bytes_);
+}
+
+}  // namespace prs::simdev

@@ -1,0 +1,80 @@
+// Region-based memory management (paper §III.C.2).
+//
+// Instead of many small mallocs from map/reduce tasks, the runtime gives
+// each device daemon a Region: a chain of contiguous chunks with bump
+// allocation. Allocation is a pointer increment; deallocation is freeing
+// the whole region at once when the task batch completes. This is real
+// memory management (not simulated) and is benchmarked against per-object
+// malloc in bench_ablation_region_alloc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace prs::simdev {
+
+/// Bump allocator over a chain of geometrically growing chunks.
+class Region {
+ public:
+  /// `initial_chunk_bytes` sizes the first chunk; later chunks double until
+  /// `max_chunk_bytes`.
+  explicit Region(std::size_t initial_chunk_bytes = 64 * 1024,
+                  std::size_t max_chunk_bytes = 8 * 1024 * 1024);
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+  Region(Region&&) = default;
+  Region& operator=(Region&&) = default;
+
+  /// Allocates `bytes` with the given alignment (power of two).
+  /// The memory lives until clear()/destruction; no per-object free.
+  void* allocate(std::size_t bytes, std::size_t alignment = alignof(std::max_align_t));
+
+  /// Typed allocation of `n` default-constructible objects of trivially
+  /// destructible type T (region never runs destructors).
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "regions do not run destructors");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return p;
+  }
+
+  /// Releases every allocation at once; keeps the first chunk for reuse.
+  void clear();
+
+  /// Bytes handed out since construction/clear.
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Bytes reserved from the system.
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Number of chunks currently owned.
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// Number of allocate() calls served (for the ablation bench).
+  std::size_t allocation_count() const { return allocation_count_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void add_chunk(std::size_t at_least);
+
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_bytes_;
+  std::size_t max_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t allocation_count_ = 0;
+};
+
+}  // namespace prs::simdev

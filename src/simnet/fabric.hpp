@@ -1,0 +1,127 @@
+// Simulated cluster interconnect: per-node full-duplex links into an ideal
+// switch, MPI-like point-to-point messaging and tree-based collectives.
+//
+// Timing model: a message from src to dst serializes through src's egress
+// link, pays the fabric latency once, then serializes through dst's ingress
+// link. Under an all-to-all shuffle every link saturates independently,
+// which matches the paper's cluster (nodes on a common switch) well enough
+// to reproduce the weak-scaling shape of Figure 6 including the global-
+// reduction overhead visible at 8 nodes.
+//
+// Collectives use binomial trees (MPICH-style), so their critical path
+// grows as ceil(log2 P) link hops — the mechanism behind the C-means
+// per-node throughput drop the paper reports.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "simnet/message.hpp"
+#include "simtime/channel.hpp"
+#include "simtime/future.hpp"
+#include "simtime/resource.hpp"
+#include "simtime/simulator.hpp"
+#include "simtime/task.hpp"
+
+namespace prs::simnet {
+
+struct FabricSpec {
+  /// Per-direction bandwidth of each node's link (bytes/s).
+  double link_bandwidth = 1e9;
+  /// One-way message latency (s).
+  double latency = 50e-6;
+};
+
+class Communicator;
+
+/// The interconnect shared by all ranks of one simulated cluster.
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, int nodes, FabricSpec spec);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int size() const { return static_cast<int>(comms_.size()); }
+  sim::Simulator& simulator() { return sim_; }
+  const FabricSpec& spec() const { return spec_; }
+
+  /// The endpoint owned by `rank`.
+  Communicator& comm(int rank);
+
+  /// Total bytes moved through the fabric (all links, egress side).
+  double bytes_sent() const;
+
+ private:
+  friend class Communicator;
+
+  sim::Simulator& sim_;
+  FabricSpec spec_;
+  std::vector<std::unique_ptr<sim::BandwidthLink>> egress_;
+  std::vector<std::unique_ptr<sim::BandwidthLink>> ingress_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+/// Combines two reduction contributions into one (payload + wire size).
+using Combiner = std::function<Message(Message, Message)>;
+
+/// Per-rank endpoint with MPI-flavoured operations. All operations must be
+/// called from simulator processes of that rank.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return fabric_.size(); }
+
+  /// Asynchronous send (buffered, fire-and-forget like MPI_Isend whose
+  /// completion the sender does not track).
+  void send(int dst, int tag, Message msg);
+
+  /// Receives the next message with this (src, tag); FIFO per channel.
+  sim::Task<Message> recv(int src, int tag);
+
+  // -- collectives ------------------------------------------------------
+  // `tag` must be unique per collective invocation across concurrently
+  // running collectives on this communicator (the caller owns the tag
+  // space, as in MPI). Every rank must call the same collective with the
+  // same tag and root.
+
+  /// Binomial-tree broadcast; returns the root's message on every rank.
+  sim::Task<Message> broadcast(int root, Message msg, int tag);
+
+  /// Binomial-tree reduce; the result is meaningful on `root` only
+  /// (other ranks get their partial accumulation back).
+  sim::Task<Message> reduce(int root, Message contribution, Combiner combine,
+                            int tag);
+
+  /// reduce to rank 0 + broadcast: every rank gets the combined value.
+  sim::Task<Message> allreduce(Message contribution, Combiner combine,
+                               int tag);
+
+  /// Root receives all contributions ordered by rank.
+  sim::Task<std::vector<Message>> gather(int root, Message contribution,
+                                         int tag);
+
+  /// Personalized all-to-all: `outbound[r]` goes to rank r; returns the
+  /// messages received, indexed by source rank. outbound.size() == size().
+  sim::Task<std::vector<Message>> all_to_all(std::vector<Message> outbound,
+                                             int tag);
+
+  /// All ranks wait until all ranks arrive.
+  sim::Task<sim::Unit> barrier(int tag);
+
+ private:
+  friend class Fabric;
+  Communicator(Fabric& fabric, int rank) : fabric_(fabric), rank_(rank) {}
+
+  sim::Channel<Message>& inbox(int src, int tag);
+  sim::Process deliver(int dst, int tag, Message msg);
+
+  Fabric& fabric_;
+  int rank_;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>>
+      inboxes_;
+};
+
+}  // namespace prs::simnet

@@ -1,0 +1,38 @@
+// Messages on the simulated fabric.
+//
+// A Message separates wire cost (`bytes`, charged against link bandwidth)
+// from functional content (`payload`, a std::any moved between ranks). The
+// PRS runtime ships real intermediate key/value data in Functional mode and
+// only the byte count in Modeled mode; the network model treats both
+// identically.
+#pragma once
+
+#include <any>
+#include <utility>
+
+namespace prs::simnet {
+
+struct Message {
+  /// Size charged on the wire (bytes). May exceed the in-memory payload
+  /// size (headers, serialization overhead) or stand in for elided payload.
+  double bytes = 0.0;
+
+  /// Functional content. Use payload_as<T>() to view it.
+  std::any payload;
+
+  Message() = default;
+  Message(double wire_bytes, std::any content)
+      : bytes(wire_bytes), payload(std::move(content)) {}
+
+  template <typename T>
+  const T& payload_as() const {
+    return std::any_cast<const T&>(payload);
+  }
+  template <typename T>
+  T& payload_as() {
+    return std::any_cast<T&>(payload);
+  }
+  bool has_payload() const { return payload.has_value(); }
+};
+
+}  // namespace prs::simnet

@@ -1,0 +1,100 @@
+// Unbounded MPSC channel for simulator processes.
+//
+// The PRS device daemons and schedulers communicate through channels: the
+// dynamic scheduler is literally "daemons polling a block channel", and the
+// shuffle stage is channels keyed by destination node. recv() returns
+// std::optional<T>; a closed, drained channel yields std::nullopt which is
+// how daemons learn to shut down.
+//
+// Delivery is rendezvous-style: when a receiver is already waiting, send()
+// hands the value directly to that receiver's awaiter slot, so a value
+// observed by a woken receiver can never be stolen by a concurrent
+// try_recv() in between (determinism + FIFO fairness).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "common/error.hpp"
+#include "simtime/simulator.hpp"
+
+namespace prs::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  struct RecvAwaiter {
+    Channel& ch;
+    std::optional<T> slot;  // filled by send() on direct handoff
+
+    bool await_ready() const { return !ch.queue_.empty() || ch.closed_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch.waiters_.push_back(Waiter{this, h});
+    }
+    std::optional<T> await_resume() {
+      if (slot.has_value()) return std::move(slot);
+      if (!ch.queue_.empty()) {
+        T v = std::move(ch.queue_.front());
+        ch.queue_.pop_front();
+        return v;
+      }
+      return std::nullopt;  // closed and drained
+    }
+  };
+
+  /// Enqueues a value; if a receiver is waiting, hands it over directly.
+  void send(T v) {
+    PRS_REQUIRE(!closed_, "send on a closed channel");
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      w.awaiter->slot = std::move(v);
+      sim_.schedule_after(0.0, [h = w.handle] { h.resume(); });
+      return;
+    }
+    queue_.push_back(std::move(v));
+  }
+
+  /// Closes the channel: queued items can still be received; subsequent
+  /// recv() on an empty channel resolves to nullopt. Idempotent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    for (const Waiter& w : waiters_) {
+      sim_.schedule_after(0.0, [h = w.handle] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return queue_.size(); }
+
+  /// co_await ch.recv() -> std::optional<T>.
+  RecvAwaiter recv() { return RecvAwaiter{*this, std::nullopt}; }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+ private:
+  struct Waiter {
+    RecvAwaiter* awaiter;
+    std::coroutine_handle<> handle;
+  };
+
+  Simulator& sim_;
+  std::deque<T> queue_;
+  std::deque<Waiter> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace prs::sim

@@ -1,0 +1,86 @@
+#include "simtime/simulator.hpp"
+
+#include <coroutine>
+
+#include "simtime/process.hpp"
+
+namespace prs::sim {
+
+Simulator::~Simulator() {
+  // Pending events may hold coroutine handles whose frames were retired or
+  // will never run; frames retired but not yet drained must still be freed.
+  drain_zombies();
+}
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  PRS_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(Time dt, std::function<void()> fn) {
+  PRS_REQUIRE(dt >= 0.0, "delay must be non-negative");
+  schedule_at(now_ + dt, std::move(fn));
+}
+
+void Simulator::spawn(Process process) {
+  Process::Handle h = process.release();
+  PRS_CHECK(h, "spawn of an empty process");
+  h.promise().sim = this;
+  schedule_after(0.0, [h] { h.resume(); });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out cheaply enough
+  // (shared function state) and popped before running so that re-entrant
+  // scheduling sees a consistent queue.
+  Event ev = queue_.top();
+  queue_.pop();
+  PRS_CHECK(ev.time >= now_, "event queue time went backwards");
+  now_ = ev.time;
+  ++dispatched_;
+  ev.fn();
+  drain_zombies();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) maybe_rethrow();
+  maybe_rethrow();
+}
+
+void Simulator::run_until(Time t_end) {
+  PRS_REQUIRE(t_end >= now_, "run_until target is in the past");
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+    maybe_rethrow();
+  }
+  now_ = std::max(now_, t_end);
+  maybe_rethrow();
+}
+
+void Simulator::retire(void* coroutine_address) {
+  zombies_.push_back(coroutine_address);
+}
+
+void Simulator::record_exception(std::exception_ptr e) {
+  // Keep only the first exception; later ones are usually cascades.
+  if (!pending_exception_) pending_exception_ = std::move(e);
+}
+
+void Simulator::drain_zombies() {
+  for (void* addr : zombies_) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+  zombies_.clear();
+}
+
+void Simulator::maybe_rethrow() {
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace prs::sim

@@ -1,0 +1,100 @@
+// Deterministic discrete-event simulation engine.
+//
+// The whole reproduction executes on a virtual clock: device kernels, PCI-E
+// transfers, network messages and scheduler decisions all charge virtual
+// time here instead of wall-clock time. Events with equal timestamps are
+// dispatched in scheduling order (FIFO via sequence numbers), so a given
+// program produces bit-identical traces on every run and every machine.
+//
+// Concurrency model: single-threaded. "Processes" are C++20 coroutines
+// (see process.hpp) resumed by the event loop; there is no data race by
+// construction, which mirrors how the paper's runtime is *reasoned about*
+// while keeping the reproduction hardware-independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace prs::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+class Process;  // defined in process.hpp
+
+/// The event loop. Owns the virtual clock and all pending events.
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (>= now).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `dt` seconds from now (dt >= 0).
+  void schedule_after(Time dt, std::function<void()> fn);
+
+  /// Starts a coroutine process; its first resume happens as an event at
+  /// the current time. The simulator takes ownership of the coroutine frame.
+  void spawn(Process process);
+
+  /// Runs until the event queue drains. Rethrows the first exception that
+  /// escaped a process or callback.
+  void run();
+
+  /// Runs until the clock would pass `t_end`; events at exactly `t_end`
+  /// are processed.
+  void run_until(Time t_end);
+
+  /// Dispatches a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Number of events dispatched so far (for tests and micro-benches).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// True when no events are pending.
+  bool idle() const { return queue_.empty(); }
+
+  // -- internal: used by process/future machinery ---------------------------
+
+  /// Takes ownership of a finished coroutine frame; destroyed after the
+  /// current event completes (the frame is still live while unwinding).
+  void retire(void* coroutine_address);
+
+  /// Records an exception that escaped a process; rethrown from run().
+  void record_exception(std::exception_ptr e);
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap on time
+      return a.seq > b.seq;                          // FIFO among ties
+    }
+  };
+
+  void drain_zombies();
+  void maybe_rethrow();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<void*> zombies_;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace prs::sim

@@ -1,0 +1,82 @@
+// Value-returning coroutines (Task<T>) for composing simulator logic.
+//
+// A Process is detached; a Task<T> is structured: the caller co_awaits it,
+// the callee's frame is owned by the Task object in the caller's frame, and
+// completion transfers control straight back to the caller (symmetric
+// transfer). Collective operations in simnet are Tasks so that SPMD rank
+// code reads like MPI:
+//
+//   sim::Task<Message> r = comm.allreduce(partial, combine, tag);
+//   Message total = co_await r;          // or: co_await comm.allreduce(...)
+//
+// Exceptions thrown in the task propagate to the awaiter.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace prs::sim {
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::optional<T> value;
+    std::exception_ptr exception;
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        // Resume whoever awaited us; if nobody did (detached misuse), just
+        // stop — the Task destructor still frees the frame.
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  // Awaiter: starts the child lazily on first await.
+  bool await_ready() const noexcept { return false; }
+  Handle await_suspend(std::coroutine_handle<> caller) {
+    h_.promise().continuation = caller;
+    return h_;  // symmetric transfer into the child
+  }
+  T await_resume() {
+    auto& p = h_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    PRS_CHECK(p.value.has_value(), "task finished without a value");
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit Task(Handle h) : h_(h) {}
+  Handle h_;
+};
+
+}  // namespace prs::sim

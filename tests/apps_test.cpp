@@ -1,0 +1,414 @@
+// Application tests: serial references against hand-checked/analytic
+// results, distributed PRS runs against the serial references, and
+// algorithmic invariants (objective monotonicity, likelihood ascent).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/cmeans.hpp"
+#include "apps/gemv.hpp"
+#include "apps/gmm.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/wordcount.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+
+namespace prs::apps {
+namespace {
+
+using core::Cluster;
+using core::JobConfig;
+using core::NodeConfig;
+
+linalg::MatrixD two_blob_points() {
+  // 8 points in two tight 2-D blobs around (0,0) and (10,10).
+  linalg::MatrixD pts(8, 2);
+  const double raw[8][2] = {{0, 0},  {1, 0},  {0, 1},  {1, 1},
+                            {10, 10}, {11, 10}, {10, 11}, {11, 11}};
+  for (std::size_t i = 0; i < 8; ++i) {
+    pts(i, 0) = raw[i][0];
+    pts(i, 1) = raw[i][1];
+  }
+  return pts;
+}
+
+// -- C-means -----------------------------------------------------------------
+
+TEST(CmeansSerial, RecoversTwoObviousBlobs) {
+  auto pts = two_blob_points();
+  CmeansParams p;
+  p.clusters = 2;
+  auto res = cmeans_serial(pts, p);
+  // Centers converge to the blob centroids (0.5,0.5) and (10.5,10.5).
+  std::vector<double> c0{res.centers(0, 0), res.centers(0, 1)};
+  std::vector<double> c1{res.centers(1, 0), res.centers(1, 1)};
+  if (c0[0] > c1[0]) std::swap(c0, c1);
+  EXPECT_NEAR(c0[0], 0.5, 0.05);
+  EXPECT_NEAR(c0[1], 0.5, 0.05);
+  EXPECT_NEAR(c1[0], 10.5, 0.05);
+  EXPECT_NEAR(c1[1], 10.5, 0.05);
+  // Hard assignment splits 4/4 consistent with ground truth.
+  EXPECT_EQ(res.assignment[0], res.assignment[3]);
+  EXPECT_EQ(res.assignment[4], res.assignment[7]);
+  EXPECT_NE(res.assignment[0], res.assignment[4]);
+}
+
+TEST(CmeansSerial, ObjectiveDecreasesMonotonically) {
+  Rng rng(3);
+  auto ds = data::generate_blobs(rng, 300, 3, 3, 8.0, 1.0);
+  CmeansParams p;
+  p.clusters = 3;
+  p.epsilon = 0.0;  // never early-stop
+  double prev = std::numeric_limits<double>::infinity();
+  for (int iters = 1; iters <= 8; ++iters) {
+    CmeansParams pi = p;
+    pi.max_iterations = iters;
+    auto res = cmeans_serial(ds.points, pi);
+    EXPECT_LE(res.objective, prev * (1.0 + 1e-9)) << "iteration " << iters;
+    prev = res.objective;
+  }
+}
+
+TEST(CmeansSerial, PointOnCenterGetsFullMembership) {
+  // A degenerate config: one point exactly at a center must not produce
+  // NaNs (Eq (13) divides by distance).
+  linalg::MatrixD pts(3, 1);
+  pts(0, 0) = 0.0;
+  pts(1, 0) = 0.0;  // duplicate point -> initial center hit
+  pts(2, 0) = 5.0;
+  CmeansParams p;
+  p.clusters = 2;
+  p.max_iterations = 5;
+  auto res = cmeans_serial(pts, p);
+  for (std::size_t i = 0; i < res.centers.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(res.centers.storage()[i]));
+  }
+}
+
+TEST(CmeansSerial, ValidatesParameters) {
+  auto pts = two_blob_points();
+  CmeansParams p;
+  p.clusters = 0;
+  EXPECT_THROW(cmeans_serial(pts, p), InvalidArgument);
+  p.clusters = 100;
+  EXPECT_THROW(cmeans_serial(pts, p), InvalidArgument);
+  p.clusters = 2;
+  p.fuzziness = 1.0;
+  EXPECT_THROW(cmeans_serial(pts, p), InvalidArgument);
+}
+
+TEST(CmeansPrs, MatchesSerialReference) {
+  Rng rng(7);
+  auto ds = data::generate_blobs(rng, 400, 4, 3, 10.0, 1.0);
+  CmeansParams p;
+  p.clusters = 3;
+  p.max_iterations = 20;
+
+  auto serial = cmeans_serial(ds.points, p);
+
+  for (int nodes : {1, 3}) {
+    sim::Simulator simu;
+    Cluster cluster(simu, nodes, NodeConfig{});
+    auto prs = cmeans_prs(cluster, ds.points, p, JobConfig{});
+    ASSERT_EQ(prs.centers.rows(), serial.centers.rows());
+    for (std::size_t i = 0; i < serial.centers.size(); ++i) {
+      EXPECT_NEAR(prs.centers.storage()[i], serial.centers.storage()[i],
+                  1e-6)
+          << nodes << " nodes";
+    }
+    EXPECT_EQ(prs.assignment, serial.assignment);
+  }
+}
+
+TEST(CmeansPrs, DynamicSchedulingMatchesToo) {
+  Rng rng(8);
+  auto ds = data::generate_blobs(rng, 200, 3, 2, 10.0, 1.0);
+  CmeansParams p;
+  p.clusters = 2;
+  p.max_iterations = 15;
+  auto serial = cmeans_serial(ds.points, p);
+
+  sim::Simulator simu;
+  Cluster cluster(simu, 2, NodeConfig{});
+  JobConfig cfg;
+  cfg.scheduling = core::SchedulingMode::kDynamic;
+  auto prs = cmeans_prs(cluster, ds.points, p, cfg);
+  for (std::size_t i = 0; i < serial.centers.size(); ++i) {
+    EXPECT_NEAR(prs.centers.storage()[i], serial.centers.storage()[i], 1e-6);
+  }
+}
+
+TEST(CmeansPrs, RecoversFlameLikeClusters) {
+  Rng rng(9);
+  auto ds = data::generate_flame_like(rng, 2000);
+  CmeansParams p;
+  p.clusters = 5;
+  p.max_iterations = 50;
+  sim::Simulator simu;
+  Cluster cluster(simu, 2, NodeConfig{});
+  auto prs = cmeans_prs(cluster, ds.points, p, JobConfig{});
+  const double overlap = data::overlap_with_reference(prs.assignment,
+                                                      ds.labels);
+  // Overlapping mixture: expect decent but not perfect recovery.
+  EXPECT_GT(overlap, 0.6);
+}
+
+TEST(CmeansCostModel, MatchesTable5Formulas) {
+  EXPECT_DOUBLE_EQ(cmeans_arithmetic_intensity(100), 500.0);
+  EXPECT_DOUBLE_EQ(cmeans_flops_per_point(10, 100), 5000.0);
+}
+
+// -- K-means -----------------------------------------------------------------
+
+TEST(KmeansSerial, RecoversTwoObviousBlobs) {
+  auto pts = two_blob_points();
+  KmeansParams p;
+  p.clusters = 2;
+  auto res = kmeans_serial(pts, p);
+  std::vector<double> c0{res.centers(0, 0), res.centers(0, 1)};
+  std::vector<double> c1{res.centers(1, 0), res.centers(1, 1)};
+  if (c0[0] > c1[0]) std::swap(c0, c1);
+  EXPECT_NEAR(c0[0], 0.5, 1e-9);
+  EXPECT_NEAR(c1[0], 10.5, 1e-9);
+  // Inertia for converged two-blob K-means: 8 points each 0.5 away in both
+  // axes from its centroid -> sum d^2 = 8 * 0.5 = 4.
+  EXPECT_NEAR(res.inertia, 4.0, 1e-9);
+}
+
+TEST(KmeansSerial, InertiaNeverIncreases) {
+  Rng rng(4);
+  auto ds = data::generate_blobs(rng, 250, 2, 4, 6.0, 1.2);
+  KmeansParams p;
+  p.clusters = 4;
+  p.epsilon = 0.0;
+  double prev = std::numeric_limits<double>::infinity();
+  for (int iters = 1; iters <= 8; ++iters) {
+    KmeansParams pi = p;
+    pi.max_iterations = iters;
+    auto res = kmeans_serial(ds.points, pi);
+    EXPECT_LE(res.inertia, prev * (1.0 + 1e-9));
+    prev = res.inertia;
+  }
+}
+
+TEST(KmeansPrs, MatchesSerialReference) {
+  Rng rng(11);
+  auto ds = data::generate_blobs(rng, 300, 3, 3, 9.0, 1.0);
+  KmeansParams p;
+  p.clusters = 3;
+  p.max_iterations = 25;
+  auto serial = kmeans_serial(ds.points, p);
+
+  sim::Simulator simu;
+  Cluster cluster(simu, 2, NodeConfig{});
+  auto prs = kmeans_prs(cluster, ds.points, p, JobConfig{});
+  for (std::size_t i = 0; i < serial.centers.size(); ++i) {
+    EXPECT_NEAR(prs.centers.storage()[i], serial.centers.storage()[i], 1e-9);
+  }
+  EXPECT_EQ(prs.assignment, serial.assignment);
+  EXPECT_EQ(prs.iterations, serial.iterations);
+}
+
+// -- GMM ----------------------------------------------------------------------
+
+TEST(GmmSerial, FitsTwoWellSeparatedGaussians) {
+  Rng rng(5);
+  std::vector<data::GaussianComponent> comps = {
+      {0.6, {0.0, 0.0}, {1.0, 1.0}},
+      {0.4, {12.0, -8.0}, {0.5, 2.0}},
+  };
+  auto ds = data::sample_gaussian_mixture(rng, 4000, comps);
+  GmmParams p;
+  p.components = 2;
+  p.max_iterations = 60;
+  auto model = gmm_serial(ds.points, p);
+
+  // Identify components by their first mean coordinate.
+  std::size_t far = model.means(0, 0) > model.means(1, 0) ? 0 : 1;
+  std::size_t near = 1 - far;
+  EXPECT_NEAR(model.means(near, 0), 0.0, 0.15);
+  EXPECT_NEAR(model.means(near, 1), 0.0, 0.15);
+  EXPECT_NEAR(model.means(far, 0), 12.0, 0.15);
+  EXPECT_NEAR(model.means(far, 1), -8.0, 0.15);
+  EXPECT_NEAR(model.weights[near], 0.6, 0.03);
+  EXPECT_NEAR(model.weights[far], 0.4, 0.03);
+  EXPECT_NEAR(model.variances(far, 0), 0.25, 0.05);
+  EXPECT_NEAR(model.variances(far, 1), 4.0, 0.4);
+}
+
+TEST(GmmSerial, LogLikelihoodIsNonDecreasing) {
+  Rng rng(6);
+  auto ds = data::generate_blobs(rng, 500, 2, 3, 7.0, 1.0);
+  GmmParams p;
+  p.components = 3;
+  p.epsilon = 0.0;
+  double prev = -std::numeric_limits<double>::infinity();
+  for (int iters = 1; iters <= 10; ++iters) {
+    GmmParams pi = p;
+    pi.max_iterations = iters;
+    auto model = gmm_serial(ds.points, pi);
+    EXPECT_GE(model.log_likelihood, prev - 1e-9) << "iteration " << iters;
+    prev = model.log_likelihood;
+  }
+}
+
+TEST(GmmSerial, WeightsFormDistribution) {
+  Rng rng(13);
+  auto ds = data::generate_flame_like(rng, 1500);
+  GmmParams p;
+  p.components = 5;
+  p.max_iterations = 30;
+  auto model = gmm_serial(ds.points, p);
+  double total = 0.0;
+  for (double w : model.weights) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t i = 0; i < model.variances.size(); ++i) {
+    EXPECT_GE(model.variances.storage()[i], p.min_variance);
+  }
+}
+
+TEST(GmmSerial, ResponsibilitiesRowsSumToOne) {
+  Rng rng(14);
+  auto ds = data::generate_blobs(rng, 100, 2, 2, 10.0, 1.0);
+  GmmParams p;
+  p.components = 2;
+  p.max_iterations = 10;
+  auto model = gmm_serial(ds.points, p);
+  auto resp = gmm_responsibilities(ds.points, model);
+  for (std::size_t i = 0; i < resp.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < resp.cols(); ++j) row += resp(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(GmmPrs, MatchesSerialReference) {
+  Rng rng(15);
+  auto ds = data::generate_blobs(rng, 400, 3, 2, 12.0, 1.0);
+  GmmParams p;
+  p.components = 2;
+  p.max_iterations = 20;
+  auto serial = gmm_serial(ds.points, p);
+
+  sim::Simulator simu;
+  Cluster cluster(simu, 3, NodeConfig{});
+  auto prs = gmm_prs(cluster, ds.points, p, JobConfig{});
+  for (std::size_t i = 0; i < serial.means.size(); ++i) {
+    EXPECT_NEAR(prs.means.storage()[i], serial.means.storage()[i], 1e-6);
+  }
+  for (std::size_t i = 0; i < serial.variances.size(); ++i) {
+    EXPECT_NEAR(prs.variances.storage()[i], serial.variances.storage()[i],
+                1e-6);
+  }
+  EXPECT_NEAR(prs.log_likelihood, serial.log_likelihood, 1e-6);
+}
+
+TEST(GmmCostModel, MatchesTable5Formula) {
+  EXPECT_DOUBLE_EQ(gmm_arithmetic_intensity(10, 60), 6600.0);
+  EXPECT_DOUBLE_EQ(gmm_flops_per_point(10, 60), 6600.0);
+}
+
+// -- GEMV ----------------------------------------------------------------------
+
+TEST(GemvSerial, MatchesBlasKernel) {
+  Rng rng(16);
+  auto a = data::random_matrix(rng, 17, 9);
+  auto x = data::random_vector(rng, 9);
+  auto y = gemv_serial(a, x);
+  ASSERT_EQ(y.size(), 17u);
+  // Spot-check one row by hand.
+  double acc = 0.0;
+  for (std::size_t c = 0; c < 9; ++c) acc += a(5, c) * x[c];
+  EXPECT_NEAR(y[5], acc, 1e-12);
+}
+
+TEST(GemvPrs, MatchesSerialOnAnyClusterSize) {
+  Rng rng(17);
+  auto a = data::random_matrix(rng, 203, 57);
+  auto x = data::random_vector(rng, 57);
+  auto want = gemv_serial(a, x);
+  for (int nodes : {1, 2, 5}) {
+    sim::Simulator simu;
+    Cluster cluster(simu, nodes, NodeConfig{});
+    auto got = gemv_prs(cluster, a, x, JobConfig{});
+    ASSERT_EQ(got.size(), want.size()) << nodes << " nodes";
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-12) << "row " << i;
+    }
+  }
+}
+
+TEST(GemvPrs, AnalyticModelSendsMostWorkToCpu) {
+  // GEMV on the Delta node: Eq (8) predicts p ~ 97%; check the runtime
+  // actually executed ~that share of flops on the CPU.
+  Rng rng(18);
+  auto a = data::random_matrix(rng, 400, 64);
+  auto x = data::random_vector(rng, 64);
+  sim::Simulator simu;
+  Cluster cluster(simu, 1, NodeConfig{});
+  core::JobStats stats;
+  (void)gemv_prs(cluster, a, x, JobConfig{}, &stats);
+  const double cpu_share = stats.cpu_flops / stats.total_flops();
+  EXPECT_GT(cpu_share, 0.9);
+}
+
+TEST(GemvPrs, ShapeMismatchThrows) {
+  sim::Simulator simu;
+  Cluster cluster(simu, 1, NodeConfig{});
+  linalg::MatrixD a(4, 3);
+  std::vector<double> x(5);
+  EXPECT_THROW(gemv_prs(cluster, a, x, JobConfig{}), InvalidArgument);
+}
+
+// -- word count ------------------------------------------------------------------
+
+TEST(WordCount, SerialCountsHandBuiltCorpus) {
+  Corpus corpus{"a b a", "b c", "a"};
+  auto counts = wordcount_serial(corpus);
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(WordCount, GeneratorProducesRequestedShape) {
+  Rng rng(19);
+  auto corpus = generate_corpus(rng, 100, 8, 50);
+  EXPECT_EQ(corpus.size(), 100u);
+  auto counts = wordcount_serial(corpus);
+  long total = 0;
+  for (const auto& [w, c] : counts) total += c;
+  EXPECT_EQ(total, 800);
+  EXPECT_LE(counts.size(), 50u);
+}
+
+TEST(WordCount, PrsMatchesSerial) {
+  Rng rng(20);
+  auto corpus =
+      std::make_shared<const Corpus>(generate_corpus(rng, 500, 6, 40));
+  auto want = wordcount_serial(*corpus);
+  for (int nodes : {1, 4}) {
+    sim::Simulator simu;
+    Cluster cluster(simu, nodes, NodeConfig{});
+    auto got = wordcount_prs(cluster, corpus, JobConfig{});
+    EXPECT_EQ(got, want) << nodes << " nodes";
+  }
+}
+
+TEST(WordCount, LowIntensityFavorsCpuHeavySplit) {
+  Rng rng(21);
+  auto corpus =
+      std::make_shared<const Corpus>(generate_corpus(rng, 300, 6, 40));
+  sim::Simulator simu;
+  Cluster cluster(simu, 1, NodeConfig{});
+  core::JobStats stats;
+  (void)wordcount_prs(cluster, corpus, JobConfig{}, &stats);
+  EXPECT_GT(stats.cpu_flops, stats.gpu_flops);
+}
+
+}  // namespace
+}  // namespace prs::apps

@@ -1,0 +1,123 @@
+// Unit tests for the prs_run command-line parser and its mapping onto
+// NodeConfig / JobConfig.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tools/cli_options.hpp"
+
+namespace prs::tools {
+namespace {
+
+bool parse(std::vector<const char*> args, Options& out, std::string& err) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prs_run"));
+  for (auto* a : args) argv.push_back(const_cast<char*>(a));
+  return parse_options(static_cast<int>(argv.size()), argv.data(), out, err);
+}
+
+TEST(Cli, DefaultsAreSane) {
+  Options o;
+  std::string err;
+  EXPECT_TRUE(parse({}, o, err)) << err;
+  EXPECT_EQ(o.app, "cmeans");
+  EXPECT_EQ(o.nodes, 4);
+  EXPECT_FALSE(o.functional);
+  EXPECT_FALSE(o.show_help);
+}
+
+TEST(Cli, ParsesAllValueOptions) {
+  Options o;
+  std::string err;
+  EXPECT_TRUE(parse({"--app=gmm", "--testbed=bigred2", "--nodes=8",
+                     "--gpus=2", "--points=12345", "--dims=60",
+                     "--clusters=7", "--iterations=3", "--rows=11",
+                     "--cols=22", "--scheduling=dynamic",
+                     "--cpu-fraction=0.25", "--seed=9"},
+                    o, err))
+      << err;
+  EXPECT_EQ(o.app, "gmm");
+  EXPECT_EQ(o.testbed, "bigred2");
+  EXPECT_EQ(o.nodes, 8);
+  EXPECT_EQ(o.gpus, 2);
+  EXPECT_EQ(o.points, 12345u);
+  EXPECT_EQ(o.dims, 60u);
+  EXPECT_EQ(o.clusters, 7);
+  EXPECT_EQ(o.iterations, 3);
+  EXPECT_EQ(o.rows, 11u);
+  EXPECT_EQ(o.cols, 22u);
+  EXPECT_EQ(o.scheduling, "dynamic");
+  EXPECT_DOUBLE_EQ(o.cpu_fraction, 0.25);
+  EXPECT_EQ(o.seed, 9u);
+}
+
+TEST(Cli, FlagsAndAliases) {
+  Options o;
+  std::string err;
+  EXPECT_TRUE(parse({"--functional", "--gpu-only", "--lines=77"}, o, err));
+  EXPECT_TRUE(o.functional);
+  EXPECT_TRUE(o.gpu_only);
+  EXPECT_EQ(o.points, 77u);
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  Options o;
+  std::string err;
+  EXPECT_FALSE(parse({"--bogus=1"}, o, err));
+  EXPECT_NE(err.find("--bogus"), std::string::npos);
+  EXPECT_FALSE(parse({"--nodes=zero"}, o, err));
+  EXPECT_FALSE(parse({"--nodes=0"}, o, err));
+  EXPECT_FALSE(parse({"--cpu-fraction=1.5"}, o, err));
+  EXPECT_FALSE(parse({"--testbed=mars"}, o, err));
+  EXPECT_FALSE(parse({"--scheduling=magic"}, o, err));
+  EXPECT_FALSE(parse({"positional"}, o, err));
+}
+
+TEST(Cli, RejectsContradictoryBackends) {
+  Options o;
+  std::string err;
+  EXPECT_FALSE(parse({"--gpu-only", "--cpu-only"}, o, err));
+  EXPECT_FALSE(parse({"--gpu-only", "--gpus=0"}, o, err));
+}
+
+TEST(Cli, HelpAndListShortCircuit) {
+  Options o;
+  std::string err;
+  EXPECT_TRUE(parse({"--help"}, o, err));
+  EXPECT_TRUE(o.show_help);
+  Options o2;
+  EXPECT_TRUE(parse({"--list"}, o2, err));
+  EXPECT_TRUE(o2.show_list);
+  EXPECT_FALSE(usage().empty());
+}
+
+TEST(Cli, NodeConfigMapping) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse({"--testbed=bigred2", "--gpus=2"}, o, err));
+  auto cfg = o.node_config();
+  EXPECT_EQ(cfg.cpu.name, "BigRed2 AMD Opteron 6212");
+  EXPECT_EQ(cfg.gpu.name, "NVIDIA Tesla K20");
+  EXPECT_EQ(cfg.gpus_per_node, 2);
+
+  Options phi;
+  ASSERT_TRUE(parse({"--testbed=phi"}, phi, err));
+  EXPECT_EQ(phi.node_config().gpu.name, "Intel Xeon Phi 5110P");
+}
+
+TEST(Cli, JobConfigMapping) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse({"--scheduling=dynamic", "--functional", "--cpu-only",
+                     "--cpu-fraction=0.5"},
+                    o, err));
+  auto cfg = o.job_config();
+  EXPECT_EQ(cfg.scheduling, core::SchedulingMode::kDynamic);
+  EXPECT_EQ(cfg.mode, core::ExecutionMode::kFunctional);
+  EXPECT_FALSE(cfg.use_gpu);
+  EXPECT_TRUE(cfg.use_cpu);
+  EXPECT_DOUBLE_EQ(cfg.cpu_fraction_override, 0.5);
+}
+
+}  // namespace
+}  // namespace prs::tools

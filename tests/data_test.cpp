@@ -1,0 +1,161 @@
+// Unit tests for data generators and clustering-quality metrics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+
+namespace prs::data {
+namespace {
+
+TEST(Generators, GaussianMixtureShapeAndLabels) {
+  Rng rng(1);
+  std::vector<GaussianComponent> comps = {
+      {0.5, {0.0, 0.0}, {1.0, 1.0}},
+      {0.5, {10.0, 10.0}, {1.0, 1.0}},
+  };
+  Dataset ds = sample_gaussian_mixture(rng, 1000, comps);
+  EXPECT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_EQ(ds.labels.size(), 1000u);
+  EXPECT_EQ(ds.num_clusters, 2);
+  std::set<int> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels, (std::set<int>{0, 1}));
+}
+
+TEST(Generators, MixtureRespectsComponentMoments) {
+  Rng rng(2);
+  std::vector<GaussianComponent> comps = {
+      {1.0, {5.0, -3.0}, {2.0, 0.5}},
+  };
+  Dataset ds = sample_gaussian_mixture(rng, 20000, comps);
+  StatsAccumulator d0, d1;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    d0.add(ds.points(i, 0));
+    d1.add(ds.points(i, 1));
+  }
+  EXPECT_NEAR(d0.mean(), 5.0, 0.05);
+  EXPECT_NEAR(d0.stddev(), 2.0, 0.05);
+  EXPECT_NEAR(d1.mean(), -3.0, 0.02);
+  EXPECT_NEAR(d1.stddev(), 0.5, 0.02);
+}
+
+TEST(Generators, MixtureWeightsControlProportions) {
+  Rng rng(3);
+  std::vector<GaussianComponent> comps = {
+      {0.8, {0.0}, {1.0}},
+      {0.2, {100.0}, {1.0}},
+  };
+  Dataset ds = sample_gaussian_mixture(rng, 10000, comps);
+  const auto c0 = static_cast<double>(
+      std::count(ds.labels.begin(), ds.labels.end(), 0));
+  EXPECT_NEAR(c0 / 10000.0, 0.8, 0.02);
+}
+
+TEST(Generators, FlameLikeMatchesPaperShape) {
+  Rng rng(4);
+  Dataset ds = generate_flame_like(rng);
+  EXPECT_EQ(ds.size(), 20054u);  // paper §IV.A.1
+  EXPECT_EQ(ds.dims(), 4u);
+  EXPECT_EQ(ds.num_clusters, 5);
+}
+
+TEST(Generators, BlobsAreWellSeparated) {
+  Rng rng(5);
+  Dataset ds = generate_blobs(rng, 600, 3, 3, 20.0, 0.5);
+  EXPECT_EQ(ds.num_clusters, 3);
+  // With separation >> sigma the ground truth labels should be perfectly
+  // recoverable by nearest-true-center: overlap metric with itself is 1.
+  EXPECT_DOUBLE_EQ(overlap_with_reference(ds.labels, ds.labels), 1.0);
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  Dataset d1 = generate_flame_like(a, 500);
+  Dataset d2 = generate_flame_like(b, 500);
+  EXPECT_EQ(d1.points, d2.points);
+  EXPECT_EQ(d1.labels, d2.labels);
+}
+
+TEST(Generators, RandomMatrixAndVectorBounds) {
+  Rng rng(6);
+  auto m = random_matrix(rng, 10, 20, -2.0, 3.0);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.cols(), 20u);
+  for (double v : m.storage()) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  auto v = random_vector(rng, 50);
+  EXPECT_EQ(v.size(), 50u);
+}
+
+// -- metrics -----------------------------------------------------------------
+
+TEST(Metrics, AverageClusterWidthHandComputed) {
+  linalg::MatrixD points(2, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 4.0;
+  linalg::MatrixD centers(1, 1);
+  centers(0, 0) = 1.0;
+  // distances 1 and 3 -> mean 2.
+  EXPECT_DOUBLE_EQ(average_cluster_width(points, {0, 0}, centers), 2.0);
+}
+
+TEST(Metrics, WidthRejectsBadAssignment) {
+  linalg::MatrixD points(2, 1), centers(1, 1);
+  EXPECT_THROW(average_cluster_width(points, {0}, centers), InvalidArgument);
+  EXPECT_THROW(average_cluster_width(points, {0, 5}, centers),
+               InvalidArgument);
+}
+
+TEST(Metrics, OverlapPerfectAndPermuted) {
+  std::vector<int> ref{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(overlap_with_reference(ref, ref), 1.0);
+  // Relabelled partitions are still a perfect match.
+  std::vector<int> permuted{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(overlap_with_reference(permuted, ref), 1.0);
+}
+
+TEST(Metrics, OverlapDegradesWithMistakes) {
+  std::vector<int> ref{0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> ok{0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> one_err{0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<int> merged(8, 0);
+  const double s_ok = overlap_with_reference(ok, ref);
+  const double s_err = overlap_with_reference(one_err, ref);
+  const double s_merged = overlap_with_reference(merged, ref);
+  EXPECT_GT(s_ok, s_err);
+  EXPECT_GT(s_err, s_merged);
+}
+
+TEST(Metrics, PurityMajorityVote) {
+  std::vector<int> computed{0, 0, 0, 1, 1, 1};
+  std::vector<int> ref{0, 0, 1, 1, 1, 1};
+  // Cluster 0: majority ref 0 (2 of 3); cluster 1: majority ref 1 (3 of 3).
+  EXPECT_NEAR(purity(computed, ref), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Metrics, AdjustedRandIndexKnownValues) {
+  std::vector<int> a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+  std::vector<int> perm{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, perm), 1.0);
+  // Merging everything into one cluster scores 0: no information beyond
+  // the chance-level agreement the adjustment subtracts.
+  std::vector<int> merged{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, merged), 0.0);
+  std::vector<int> half{0, 1, 0, 1};
+  EXPECT_LT(adjusted_rand_index(a, half), 0.5);
+}
+
+TEST(Metrics, LabelingsMustAlign) {
+  EXPECT_THROW(overlap_with_reference({0, 1}, {0}), InvalidArgument);
+  EXPECT_THROW(purity({}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace prs::data

@@ -1,0 +1,162 @@
+// Tests for the FFT substrate and the batch-FFT application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fftbatch.hpp"
+#include "common/rng.hpp"
+#include "linalg/fft.hpp"
+
+namespace prs::linalg {
+namespace {
+
+std::vector<Complex> random_signal(Rng& rng, std::size_t n) {
+  std::vector<Complex> s(n);
+  for (auto& x : s) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return s;
+}
+
+TEST(Fft, MatchesReferenceDft) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    auto in = random_signal(rng, n);
+    auto want = dft_reference(in);
+    auto got = in;
+    fft(got);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i].real(), want[i].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(got[i].imag(), want[i].imag(), 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTrips) {
+  Rng rng(2);
+  auto in = random_signal(rng, 128);
+  auto data = in;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), in[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), in[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(16, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneConcentratesEnergy) {
+  const std::size_t n = 64, k = 5;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * M_PI * static_cast<double>(k * i) /
+                         static_cast<double>(n);
+    data[i] = Complex(std::cos(phase), std::sin(phase));
+  }
+  fft(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::abs(data[i]);
+    if (i == k) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(3);
+  auto in = random_signal(rng, 256);
+  double time_energy = 0.0;
+  for (const auto& x : in) time_energy += std::norm(x);
+  auto freq = in;
+  fft(freq);
+  double freq_energy = 0.0;
+  for (const auto& x : freq) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(in.size()), time_energy,
+              1e-9);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft(data), InvalidArgument);
+  EXPECT_THROW(fft_flops(12), InvalidArgument);
+}
+
+TEST(Fft, CostModelFormulas) {
+  EXPECT_DOUBLE_EQ(fft_flops(1024), 5.0 * 1024 * 10);
+  EXPECT_DOUBLE_EQ(fft_arithmetic_intensity(1024), 50.0);
+  // Figure 4: FFT sits between GEMV (2) and the clustering apps (>= 30).
+  EXPECT_GT(fft_arithmetic_intensity(128), 2.0);
+  EXPECT_LT(fft_arithmetic_intensity(1u << 20), 500.0);
+}
+
+}  // namespace
+}  // namespace prs::linalg
+
+namespace prs::apps {
+namespace {
+
+SignalBatch make_batch(Rng& rng, std::size_t count, std::size_t size) {
+  SignalBatch b;
+  b.signal_size = size;
+  b.samples.resize(count * size);
+  for (auto& x : b.samples) {
+    x = linalg::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  return b;
+}
+
+TEST(FftBatch, SerialTransformsEverySignal) {
+  Rng rng(4);
+  auto in = make_batch(rng, 5, 32);
+  auto out = fft_batch_serial(in);
+  ASSERT_EQ(out.count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<linalg::Complex> want(in.signal(i), in.signal(i) + 32);
+    linalg::fft(want);
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_NEAR(out.signal(i)[j].real(), want[j].real(), 1e-12);
+      EXPECT_NEAR(out.signal(i)[j].imag(), want[j].imag(), 1e-12);
+    }
+  }
+}
+
+TEST(FftBatch, PrsMatchesSerial) {
+  Rng rng(5);
+  auto in = make_batch(rng, 64, 64);
+  auto want = fft_batch_serial(in);
+  for (int nodes : {1, 3}) {
+    sim::Simulator sim;
+    core::Cluster cluster(sim, nodes, core::NodeConfig{});
+    auto got = fft_batch_prs(cluster, in, core::JobConfig{});
+    ASSERT_EQ(got.samples.size(), want.samples.size()) << nodes;
+    for (std::size_t i = 0; i < want.samples.size(); ++i) {
+      EXPECT_NEAR(std::abs(got.samples[i] - want.samples[i]), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(FftBatch, ModerateAiSplitsWorkAcrossBothBackends) {
+  sim::Simulator sim;
+  core::Cluster cluster(sim, 1, core::NodeConfig{});
+  core::JobConfig cfg;
+  cfg.charge_job_startup = false;
+  auto stats = fft_batch_prs_modeled(cluster, 200000, 1024, cfg);
+  const double cpu_share = stats.cpu_flops / stats.total_flops();
+  // AI = 50: staged GPU is PCI-E-bound, so the CPU keeps a large share —
+  // but clearly less than GEMV's 97%.
+  EXPECT_GT(cpu_share, 0.3);
+  EXPECT_LT(cpu_share, 0.97);
+}
+
+}  // namespace
+}  // namespace prs::apps

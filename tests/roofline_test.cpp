@@ -1,0 +1,319 @@
+// Unit + property tests for the roofline model and the paper's analytic
+// scheduler (Eqs (5)-(11)), including reproduction of Table 5's predicted
+// workload splits on the calibrated Delta node.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "roofline/analytic_scheduler.hpp"
+#include "roofline/roofline.hpp"
+#include "simdev/device_spec.hpp"
+
+namespace prs::roofline {
+namespace {
+
+simdev::DeviceSpec toy_cpu() {
+  simdev::DeviceSpec s;
+  s.name = "toy-cpu";
+  s.kind = simdev::DeviceKind::kCpu;
+  s.peak_flops = 100.0;
+  s.dram_bandwidth = 10.0;  // ridge at AI = 10
+  s.cores = 4;
+  return s;
+}
+
+simdev::DeviceSpec toy_gpu() {
+  simdev::DeviceSpec s;
+  s.name = "toy-gpu";
+  s.kind = simdev::DeviceKind::kGpu;
+  s.peak_flops = 1000.0;
+  s.dram_bandwidth = 100.0;  // resident ridge at AI = 10
+  s.pcie_bandwidth = 10.0;   // staged ridge at 1000*(0.01+0.1) = 110
+  s.cores = 64;
+  s.hardware_queues = 4;
+  return s;
+}
+
+TEST(Roofline, AttainableIsMinOfPeakAndBandwidthTimesAi) {
+  RooflineModel m(toy_cpu());
+  EXPECT_DOUBLE_EQ(m.attainable_flops(1.0), 10.0);   // bandwidth bound
+  EXPECT_DOUBLE_EQ(m.attainable_flops(10.0), 100.0); // exactly the ridge
+  EXPECT_DOUBLE_EQ(m.attainable_flops(50.0), 100.0); // compute bound
+}
+
+TEST(Roofline, StagedAttainableUsesSerialSum) {
+  RooflineModel m(toy_gpu());
+  // per byte: 1/100 + 1/10 = 0.11 s; at AI=1: F = 1/0.11.
+  EXPECT_NEAR(m.attainable_flops_staged(1.0), 1.0 / 0.11, 1e-9);
+  EXPECT_DOUBLE_EQ(m.attainable_flops_staged(1000.0), 1000.0);  // capped
+}
+
+TEST(Roofline, RidgePoints) {
+  RooflineModel cpu(toy_cpu()), gpu(toy_gpu());
+  EXPECT_DOUBLE_EQ(cpu.ridge_point(), 10.0);
+  EXPECT_DOUBLE_EQ(gpu.ridge_point(), 10.0);
+  EXPECT_DOUBLE_EQ(gpu.ridge_point_staged(), 110.0);
+  // Staged ridge is always to the right of the resident ridge (paper Fig 3).
+  EXPECT_GT(gpu.ridge_point_staged(), gpu.ridge_point());
+}
+
+TEST(Roofline, ProcessTimeIsBytesTimesAiOverRate) {
+  RooflineModel m(toy_cpu());
+  // 100 bytes at AI 1 -> 100 flops at 10 flop/s = 10 s.
+  EXPECT_DOUBLE_EQ(m.process_time(1.0, 100.0), 10.0);
+  // Above the ridge: 100 bytes at AI 20 -> 2000 flops at 100 flop/s = 20 s.
+  EXPECT_DOUBLE_EQ(m.process_time(20.0, 100.0), 20.0);
+}
+
+TEST(Roofline, CpuSpecRejectsStagedQueries) {
+  RooflineModel m(toy_cpu());
+  EXPECT_THROW(m.attainable_flops_staged(1.0), InvalidArgument);
+  EXPECT_THROW(m.ridge_point_staged(), InvalidArgument);
+}
+
+// -- workload split (Eq 8) -----------------------------------------------------
+
+TEST(AnalyticScheduler, RequiresCpuThenGpu) {
+  EXPECT_THROW(AnalyticScheduler(toy_gpu(), toy_cpu()), InvalidArgument);
+  EXPECT_NO_THROW(AnalyticScheduler(toy_cpu(), toy_gpu()));
+}
+
+TEST(AnalyticScheduler, SplitEqualsFcOverFcPlusFg) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // AI=1 staged: Fc = 10, Fg = 1/0.11 = 9.0909... -> p = 10/19.09 = 0.5238.
+  const auto s = sched.workload_split(1.0, /*gpu_staged=*/true);
+  EXPECT_NEAR(s.cpu_rate, 10.0, 1e-9);
+  EXPECT_NEAR(s.gpu_rate, 9.0909090909, 1e-6);
+  EXPECT_NEAR(s.cpu_fraction, 10.0 / 19.0909090909, 1e-6);
+  EXPECT_EQ(s.regime, SplitRegime::kBelowCpuRidge);
+}
+
+TEST(AnalyticScheduler, HighAiSplitIsPeakRatio) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // AI=500 >= both ridges: p = Pc / (Pc + Pg) = 100/1100.
+  const auto s = sched.workload_split(500.0, true);
+  EXPECT_NEAR(s.cpu_fraction, 100.0 / 1100.0, 1e-12);
+  EXPECT_EQ(s.regime, SplitRegime::kAboveGpuRidge);
+}
+
+TEST(AnalyticScheduler, MiddleRegimeCpuAtPeakGpuStagingBound) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // AI=50: above CPU ridge (10), below staged GPU ridge (110).
+  const auto s = sched.workload_split(50.0, true);
+  EXPECT_DOUBLE_EQ(s.cpu_rate, 100.0);          // Pc
+  EXPECT_NEAR(s.gpu_rate, 50.0 / 0.11, 1e-9);   // staging bound
+  EXPECT_EQ(s.regime, SplitRegime::kBetweenRidges);
+}
+
+TEST(AnalyticScheduler, CachedDataUsesResidentGpuRoofline) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  const auto staged = sched.workload_split(50.0, true);
+  const auto cached = sched.workload_split(50.0, false);
+  // With cached data the GPU is compute bound at AI=50 (>= ridge 10):
+  EXPECT_DOUBLE_EQ(cached.gpu_rate, 1000.0);
+  // so the CPU share shrinks versus the staged case.
+  EXPECT_LT(cached.cpu_fraction, staged.cpu_fraction);
+}
+
+// Property sweep: p is always a valid probability and monotone in the
+// intuitive directions.
+class SplitProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitProperty, FractionInUnitIntervalAndRatesPositive) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  const double ai = GetParam();
+  for (bool staged : {true, false}) {
+    const auto s = sched.workload_split(ai, staged);
+    EXPECT_GT(s.cpu_fraction, 0.0) << "ai=" << ai;
+    EXPECT_LT(s.cpu_fraction, 1.0) << "ai=" << ai;
+    EXPECT_GT(s.cpu_rate, 0.0);
+    EXPECT_GT(s.gpu_rate, 0.0);
+    EXPECT_NEAR(s.cpu_fraction, s.cpu_rate / (s.cpu_rate + s.gpu_rate),
+                1e-12);
+  }
+}
+
+TEST_P(SplitProperty, FasterGpuLowersCpuShare) {
+  const double ai = GetParam();
+  simdev::DeviceSpec big = toy_gpu();
+  big.peak_flops *= 4.0;
+  big.dram_bandwidth *= 4.0;
+  big.pcie_bandwidth *= 4.0;
+  AnalyticScheduler base(toy_cpu(), toy_gpu());
+  AnalyticScheduler faster(toy_cpu(), big);
+  EXPECT_LT(faster.workload_split(ai, true).cpu_fraction,
+            base.workload_split(ai, true).cpu_fraction)
+      << "ai=" << ai;
+}
+
+TEST_P(SplitProperty, ContinuityAcrossRegimeBoundaries) {
+  // Eq (8) must be continuous at Acr and Agr: evaluate p on both sides of
+  // each ridge and require a small jump.
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  const double ridge = GetParam() < 50.0 ? 10.0 : 110.0;  // Acr or Agr
+  const double eps = 1e-6;
+  const double below = sched.workload_split(ridge - eps, true).cpu_fraction;
+  const double above = sched.workload_split(ridge + eps, true).cpu_fraction;
+  EXPECT_NEAR(below, above, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AiSweep, SplitProperty,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 9.9, 10.1,
+                                           20.0, 50.0, 109.0, 111.0, 500.0,
+                                           6600.0));
+
+// -- Table 5 reproduction ---------------------------------------------------------
+
+TEST(Table5, GemvPredictedSplitMatchesPaper) {
+  // GEMV: AI = 2, non-iterative (input staged over PCI-E every time).
+  AnalyticScheduler sched(simdev::delta_cpu(), simdev::delta_c2070());
+  const auto s = sched.workload_split(2.0, /*gpu_staged=*/true);
+  // Paper Table 5: p = 97.3%.
+  EXPECT_NEAR(s.cpu_fraction, 0.973, 0.005);
+  EXPECT_EQ(s.regime, SplitRegime::kBelowCpuRidge);
+}
+
+TEST(Table5, CmeansPredictedSplitMatchesPaper) {
+  // C-means: AI = 5*M = 500 (M=100), iterative with the event matrix cached
+  // in GPU memory (paper §III.C.3), so the GPU uses its resident roofline.
+  AnalyticScheduler sched(simdev::delta_cpu(), simdev::delta_c2070());
+  const auto s = sched.workload_split(500.0, /*gpu_staged=*/false);
+  // Paper Table 5: p = 11.2%.
+  EXPECT_NEAR(s.cpu_fraction, 0.112, 0.005);
+}
+
+TEST(Table5, GmmPredictedSplitMatchesPaper) {
+  // GMM: AI = 11*M*D = 6600 (M=10, D=60), iterative/cached as well.
+  AnalyticScheduler sched(simdev::delta_cpu(), simdev::delta_c2070());
+  const auto s = sched.workload_split(6600.0, /*gpu_staged=*/false);
+  // Paper Table 5: p = 11.2% (same regime as C-means: both at peak).
+  EXPECT_NEAR(s.cpu_fraction, 0.112, 0.005);
+  EXPECT_EQ(s.regime, SplitRegime::kAboveGpuRidge);
+}
+
+// -- networked split (paper future work a) ----------------------------------------
+
+TEST(NetworkedSplit, CapsNodeRateAtNetworkBound) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // AI=1 staged: Fc=10, Fg=9.09, compute=19.09. Network at B=5 B/s:
+  // network rate = 1*5 = 5 < compute -> network bound.
+  const auto slow = sched.workload_split_networked(1.0, 1.0, true, 1, 5.0);
+  EXPECT_TRUE(slow.network_bound);
+  EXPECT_DOUBLE_EQ(slow.network_rate, 5.0);
+  EXPECT_DOUBLE_EQ(slow.node_rate, 5.0);
+  EXPECT_NEAR(slow.compute_rate, 19.0909, 1e-3);
+  // Fast network: compute bound.
+  const auto fast = sched.workload_split_networked(1.0, 1.0, true, 1, 1e6);
+  EXPECT_FALSE(fast.network_bound);
+  EXPECT_NEAR(fast.node_rate, fast.compute_rate, 1e-9);
+  // The inner CPU/GPU split is unchanged by the network term.
+  EXPECT_DOUBLE_EQ(slow.split.cpu_fraction, fast.split.cpu_fraction);
+}
+
+TEST(NetworkedSplit, MultiGpuRaisesComputeRate) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  const auto one = sched.workload_split_networked(1.0, 1.0, true, 1, 1e6);
+  const auto two = sched.workload_split_networked(1.0, 1.0, true, 2, 1e6);
+  EXPECT_NEAR(two.compute_rate - one.compute_rate, one.split.gpu_rate, 1e-9);
+}
+
+TEST(NetworkedSplit, CrossoverAtComputeOverAi) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  const auto base = sched.workload_split(2.0, true);
+  const double crossover = (base.cpu_rate + base.gpu_rate) / 2.0;
+  const auto below =
+      sched.workload_split_networked(2.0, 2.0, true, 1, crossover * 0.99);
+  const auto above =
+      sched.workload_split_networked(2.0, 2.0, true, 1, crossover * 1.01);
+  EXPECT_TRUE(below.network_bound);
+  EXPECT_FALSE(above.network_bound);
+}
+
+TEST(NetworkedSplit, RejectsNonPositiveBandwidth) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  EXPECT_THROW(sched.workload_split_networked(1.0, 1.0, true, 1, 0.0),
+               InvalidArgument);
+}
+
+// -- overlap percentage (Eq 9) ---------------------------------------------------
+
+TEST(Overlap, MatchesClosedForm) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // transfer/byte = 0.11 s, compute/byte at AI=10 is 10/1000 = 0.01 s.
+  EXPECT_NEAR(sched.overlap_percentage(10.0), 0.11 / 0.12, 1e-12);
+}
+
+TEST(Overlap, DecreasesWithArithmeticIntensity) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  double prev = 1.0;
+  for (double ai : {0.5, 1.0, 5.0, 50.0, 500.0}) {
+    const double op = sched.overlap_percentage(ai);
+    EXPECT_GT(op, 0.0);
+    EXPECT_LT(op, 1.0);
+    EXPECT_LT(op, prev);
+    prev = op;
+  }
+}
+
+// -- MinBs (Eq 10/11) -------------------------------------------------------------
+
+TEST(MinBlockSize, InvertsMonotoneAiFunction) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // BLAS3-like: AI(Bs) = sqrt(Bs) (grows with block size).
+  AiOfBlock ai = [](double bs) { return std::sqrt(bs); };
+  // Staged ridge = 110 -> MinBs = 110^2 = 12100.
+  const auto bs = sched.min_block_size(ai, 1.0, 1e9);
+  ASSERT_TRUE(bs.has_value());
+  EXPECT_NEAR(*bs, 12100.0, 2.0);
+  // And it is genuinely the inverse: AI(MinBs) ~= ridge.
+  EXPECT_NEAR(ai(*bs), 110.0, 0.05);
+}
+
+TEST(MinBlockSize, ConstantLowAiNeverSaturates) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  AiOfBlock ai = [](double) { return 2.0; };  // GEMV-like
+  EXPECT_FALSE(sched.min_block_size(ai, 1.0, 1e12).has_value());
+}
+
+TEST(MinBlockSize, AlreadySaturatedReturnsLowerBound) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  AiOfBlock ai = [](double) { return 1e6; };  // DGEMM on a huge block
+  const auto bs = sched.min_block_size(ai, 64.0, 1e9);
+  ASSERT_TRUE(bs.has_value());
+  EXPECT_DOUBLE_EQ(*bs, 64.0);
+}
+
+// -- stream recommendation ---------------------------------------------------------
+
+TEST(Streams, LowOverlapMeansNoStreaming) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  // Very high AI -> compute dominates, op ~ 0 -> single stream.
+  AiOfBlock ai = [](double) { return 1e7; };
+  EXPECT_EQ(sched.recommended_streams(1e6, ai), 1);
+}
+
+TEST(Streams, BandwidthBoundAppGetsAllQueues) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  AiOfBlock ai = [](double) { return 1.0; };  // never saturates peak
+  EXPECT_EQ(sched.recommended_streams(1e6, ai), 4);  // hw queue cap
+}
+
+TEST(Streams, BlockCountCappedByQueuesAndMinBs) {
+  AnalyticScheduler sched(toy_cpu(), toy_gpu());
+  AiOfBlock ai = [](double bs) { return std::sqrt(bs); };  // MinBs = 12100
+  // Partition holding ~3.3 MinBs blocks, op(sqrt(40000)) = 0.11/0.31 = 0.35
+  // above threshold -> 3 streams.
+  EXPECT_EQ(sched.recommended_streams(40000.0, ai), 3);
+  // Tiny partition: a single MinBs block -> 1 stream.
+  EXPECT_EQ(sched.recommended_streams(12100.0, ai), 1);
+}
+
+TEST(Streams, CpuBlockCountIsMultipleOfCores) {
+  EXPECT_EQ(AnalyticScheduler::cpu_block_count(12), 48);
+  EXPECT_EQ(AnalyticScheduler::cpu_block_count(12, 2), 24);
+  EXPECT_THROW(AnalyticScheduler::cpu_block_count(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace prs::roofline

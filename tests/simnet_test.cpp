@@ -1,0 +1,364 @@
+// Unit tests for the simulated interconnect: p2p timing and ordering,
+// collectives correctness, cost scaling, and the Task<T> coroutine type.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "simtime/process.hpp"
+
+namespace prs::simnet {
+namespace {
+
+using sim::Simulator;
+
+FabricSpec fast_fabric() {
+  FabricSpec s;
+  s.link_bandwidth = 100.0;  // bytes/s — easy numbers
+  s.latency = 0.5;
+  return s;
+}
+
+// -- Task<T> ---------------------------------------------------------------
+
+sim::Task<int> add_later(Simulator& sim, int a, int b) {
+  co_await sim::delay(sim, 1.0);
+  co_return a + b;
+}
+
+sim::Task<int> nested(Simulator& sim) {
+  const int x = co_await add_later(sim, 1, 2);
+  const int y = co_await add_later(sim, x, 10);
+  co_return y;
+}
+
+sim::Process drive_task(Simulator& sim, int& out, double& at) {
+  out = co_await nested(sim);
+  at = sim.now();
+}
+
+TEST(Task, NestedTasksComposeAndReturnValues) {
+  Simulator sim;
+  int out = 0;
+  double at = -1;
+  sim.spawn(drive_task(sim, out, at));
+  sim.run();
+  EXPECT_EQ(out, 13);
+  EXPECT_DOUBLE_EQ(at, 2.0);
+}
+
+sim::Task<int> failing_task(Simulator& sim) {
+  co_await sim::delay(sim, 0.5);
+  throw InvalidArgument("task failure");
+}
+
+sim::Process drive_failing(Simulator& sim, bool& caught) {
+  try {
+    (void)co_await failing_task(sim);
+  } catch (const InvalidArgument&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(drive_failing(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+// -- point to point ------------------------------------------------------------
+
+sim::Process sender(Simulator& sim, Communicator& c, int dst, double bytes,
+                    int value) {
+  c.send(dst, /*tag=*/1, Message{bytes, value});
+  (void)sim;
+  co_return;
+}
+
+sim::Process receiver(Simulator& sim, Communicator& c, int src,
+                      std::vector<std::pair<int, double>>& log) {
+  Message m = co_await c.recv(src, /*tag=*/1);
+  log.emplace_back(m.payload_as<int>(), sim.now());
+}
+
+TEST(Fabric, PointToPointDeliversPayloadWithWireCost) {
+  Simulator sim;
+  Fabric fab(sim, 2, fast_fabric());
+  std::vector<std::pair<int, double>> log;
+  sim.spawn(sender(sim, fab.comm(0), 1, 100.0, 77));
+  sim.spawn(receiver(sim, fab.comm(1), 0, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 77);
+  // 1 s egress + 0.5 s latency + 1 s ingress.
+  EXPECT_DOUBLE_EQ(log[0].second, 2.5);
+}
+
+TEST(Fabric, SelfSendIsFreeLoopback) {
+  Simulator sim;
+  Fabric fab(sim, 2, fast_fabric());
+  std::vector<std::pair<int, double>> log;
+  sim.spawn(sender(sim, fab.comm(0), 0, 1000.0, 5));
+  sim.spawn(receiver(sim, fab.comm(0), 0, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(fab.bytes_sent(), 0.0);
+}
+
+TEST(Fabric, EgressContentionSerializesSends) {
+  Simulator sim;
+  Fabric fab(sim, 3, fast_fabric());
+  std::vector<std::pair<int, double>> log1, log2;
+  // Rank 0 sends 100 bytes to both 1 and 2: second send queues on egress.
+  sim.spawn([](Simulator&, Communicator& c) -> sim::Process {
+    c.send(1, 1, Message{100.0, 1});
+    c.send(2, 1, Message{100.0, 2});
+    co_return;
+  }(sim, fab.comm(0)));
+  sim.spawn(receiver(sim, fab.comm(1), 0, log1));
+  sim.spawn(receiver(sim, fab.comm(2), 0, log2));
+  sim.run();
+  ASSERT_EQ(log1.size(), 1u);
+  ASSERT_EQ(log2.size(), 1u);
+  EXPECT_DOUBLE_EQ(log1[0].second, 2.5);
+  EXPECT_DOUBLE_EQ(log2[0].second, 3.5);  // +1 s queued behind first
+}
+
+TEST(Fabric, MessagesBetweenSamePairStayOrdered) {
+  Simulator sim;
+  Fabric fab(sim, 2, fast_fabric());
+  std::vector<int> got;
+  sim.spawn([](Simulator&, Communicator& c) -> sim::Process {
+    for (int i = 0; i < 5; ++i) c.send(1, 7, Message{10.0, i});
+    co_return;
+  }(sim, fab.comm(0)));
+  sim.spawn([](Simulator&, Communicator& c,
+               std::vector<int>& out) -> sim::Process {
+    for (int i = 0; i < 5; ++i) {
+      Message m = co_await c.recv(0, 7);
+      out.push_back(m.payload_as<int>());
+    }
+  }(sim, fab.comm(1), got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// -- collectives -----------------------------------------------------------------
+
+/// Runs `body` as an SPMD process on every rank and returns the fabric time.
+template <typename Body>
+double run_spmd(int nodes, FabricSpec spec, Body body) {
+  Simulator sim;
+  Fabric fab(sim, nodes, spec);
+  for (int r = 0; r < nodes; ++r) {
+    sim.spawn(body(sim, fab.comm(r)));
+  }
+  sim.run();
+  return sim.now();
+}
+
+TEST(Collectives, BroadcastReachesEveryRank) {
+  for (int nodes : {1, 2, 3, 4, 5, 8}) {
+    Simulator sim;
+    Fabric fab(sim, nodes, fast_fabric());
+    std::vector<int> got(static_cast<std::size_t>(nodes), -1);
+    for (int r = 0; r < nodes; ++r) {
+      sim.spawn([](Simulator&, Communicator& c, std::vector<int>& out,
+                   int rank) -> sim::Process {
+        // Named message: see the GCC-12 temporaries rule in process.hpp.
+        Message mine = rank == 0 ? Message{40.0, 123} : Message{};
+        Message m = co_await c.broadcast(/*root=*/0, std::move(mine),
+                                         /*tag=*/3);
+        out[static_cast<std::size_t>(rank)] = m.payload_as<int>();
+      }(sim, fab.comm(r), got, r));
+    }
+    sim.run();
+    for (int r = 0; r < nodes; ++r) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)], 123) << "rank " << r
+                                                       << " of " << nodes;
+    }
+  }
+}
+
+TEST(Collectives, BroadcastFromNonZeroRoot) {
+  const int nodes = 6, root = 4;
+  Simulator sim;
+  Fabric fab(sim, nodes, fast_fabric());
+  std::vector<int> got(nodes, -1);
+  for (int r = 0; r < nodes; ++r) {
+    sim.spawn([](Simulator&, Communicator& c, std::vector<int>& out, int rank,
+                 int rt) -> sim::Process {
+      Message mine = rank == rt ? Message{8.0, 55} : Message{};
+      Message m = co_await c.broadcast(rt, std::move(mine), 9);
+      out[static_cast<std::size_t>(rank)] = m.payload_as<int>();
+    }(sim, fab.comm(r), got, r, root));
+  }
+  sim.run();
+  for (int v : got) EXPECT_EQ(v, 55);
+}
+
+Combiner int_sum() {
+  return [](Message a, Message b) {
+    const int av = a.has_payload() ? a.payload_as<int>() : 0;
+    const int bv = b.has_payload() ? b.payload_as<int>() : 0;
+    return Message{std::max(a.bytes, b.bytes), av + bv};
+  };
+}
+
+TEST(Collectives, ReduceSumsContributionsOnRoot) {
+  for (int nodes : {1, 2, 4, 7}) {
+    Simulator sim;
+    Fabric fab(sim, nodes, fast_fabric());
+    int root_total = -1;
+    for (int r = 0; r < nodes; ++r) {
+      sim.spawn([](Simulator&, Communicator& c, int rank,
+                   int& out) -> sim::Process {
+        Message mine{8.0, rank + 1};
+        Combiner combine = int_sum();
+        Message m =
+            co_await c.reduce(0, std::move(mine), std::move(combine), 4);
+        if (rank == 0) out = m.payload_as<int>();
+      }(sim, fab.comm(r), r, root_total));
+    }
+    sim.run();
+    EXPECT_EQ(root_total, nodes * (nodes + 1) / 2) << nodes << " nodes";
+  }
+}
+
+TEST(Collectives, AllreduceGivesEveryRankTheTotal) {
+  const int nodes = 5;
+  Simulator sim;
+  Fabric fab(sim, nodes, fast_fabric());
+  std::vector<int> got(nodes, -1);
+  for (int r = 0; r < nodes; ++r) {
+    sim.spawn([](Simulator&, Communicator& c, std::vector<int>& out,
+                 int rank) -> sim::Process {
+      Message mine{8.0, rank + 1};
+      Combiner combine = int_sum();
+      Message m =
+          co_await c.allreduce(std::move(mine), std::move(combine), 6);
+      out[static_cast<std::size_t>(rank)] = m.payload_as<int>();
+    }(sim, fab.comm(r), got, r));
+  }
+  sim.run();
+  for (int v : got) EXPECT_EQ(v, 15);
+}
+
+TEST(Collectives, GatherCollectsInRankOrder) {
+  const int nodes = 4;
+  Simulator sim;
+  Fabric fab(sim, nodes, fast_fabric());
+  std::vector<int> collected;
+  for (int r = 0; r < nodes; ++r) {
+    sim.spawn([](Simulator&, Communicator& c, int rank,
+                 std::vector<int>& out) -> sim::Process {
+      Message mine{8.0, rank * 10};
+      auto msgs = co_await c.gather(0, std::move(mine), 11);
+      if (rank == 0) {
+        for (auto& m : msgs) out.push_back(m.payload_as<int>());
+      }
+    }(sim, fab.comm(r), r, collected));
+  }
+  sim.run();
+  EXPECT_EQ(collected, (std::vector<int>{0, 10, 20, 30}));
+}
+
+TEST(Collectives, AllToAllTransposesMessages) {
+  const int nodes = 3;
+  Simulator sim;
+  Fabric fab(sim, nodes, fast_fabric());
+  std::vector<std::vector<int>> got(nodes);
+  for (int r = 0; r < nodes; ++r) {
+    sim.spawn([](Simulator&, Communicator& c, int rank,
+                 std::vector<int>& out) -> sim::Process {
+      std::vector<Message> outbound;
+      for (int dst = 0; dst < c.size(); ++dst) {
+        outbound.push_back(Message{8.0, rank * 100 + dst});
+      }
+      auto in = co_await c.all_to_all(std::move(outbound), 13);
+      for (auto& m : in) out.push_back(m.payload_as<int>());
+    }(sim, fab.comm(r), r, got[static_cast<std::size_t>(r)]));
+  }
+  sim.run();
+  // Rank r receives src*100 + r from each src.
+  for (int r = 0; r < nodes; ++r) {
+    for (int src = 0; src < nodes; ++src) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(src)],
+                src * 100 + r);
+    }
+  }
+}
+
+TEST(Collectives, BarrierSynchronizesRanks) {
+  const int nodes = 4;
+  Simulator sim;
+  Fabric fab(sim, nodes, fast_fabric());
+  std::vector<double> after(nodes, -1);
+  for (int r = 0; r < nodes; ++r) {
+    sim.spawn([](Simulator& s, Communicator& c, int rank,
+                 std::vector<double>& out) -> sim::Process {
+      // Stagger arrivals: rank r arrives at t = r seconds.
+      co_await sim::delay(s, static_cast<double>(rank));
+      co_await c.barrier(17);
+      out[static_cast<std::size_t>(rank)] = s.now();
+    }(sim, fab.comm(r), r, after));
+  }
+  sim.run();
+  // Nobody may leave the barrier before the last arrival at t = 3.
+  for (double t : after) EXPECT_GE(t, 3.0);
+}
+
+TEST(Collectives, ReduceCostGrowsLogarithmically) {
+  // Binomial tree: critical path ~ ceil(log2 P) hops. Measure completion
+  // time of a pure reduce for growing cluster sizes and check that the cost
+  // of 8 nodes is ~3 hops vs 1 hop for 2 nodes (not 7x like a linear chain).
+  auto reduce_time = [](int nodes) {
+    Simulator sim;
+    Fabric fab(sim, nodes, fast_fabric());
+    for (int r = 0; r < nodes; ++r) {
+      sim.spawn([](Simulator&, Communicator& c, int rank) -> sim::Process {
+        (void)rank;
+        Message mine{100.0, 1};
+        Combiner combine = int_sum();
+        (void)co_await c.reduce(0, std::move(mine), std::move(combine), 2);
+      }(sim, fab.comm(r), r));
+    }
+    sim.run();
+    return sim.now();
+  };
+  const double t2 = reduce_time(2);
+  const double t8 = reduce_time(8);
+  EXPECT_GT(t8, t2);
+  EXPECT_LE(t8, 4.0 * t2);  // log-ish, not linear in P
+}
+
+TEST(Collectives, MismatchedAllToAllSizeThrows) {
+  Simulator sim;
+  Fabric fab(sim, 3, fast_fabric());
+  bool threw = false;
+  sim.spawn([](Simulator&, Communicator& c, bool& t) -> sim::Process {
+    try {
+      std::vector<Message> outbound(2);
+      (void)co_await c.all_to_all(std::move(outbound), 1);
+    } catch (const InvalidArgument&) {
+      t = true;
+    }
+  }(sim, fab.comm(0), threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Fabric, RankValidation) {
+  Simulator sim;
+  Fabric fab(sim, 2, fast_fabric());
+  EXPECT_THROW(fab.comm(2), InvalidArgument);
+  EXPECT_THROW(fab.comm(-1), InvalidArgument);
+  EXPECT_THROW(fab.comm(0).send(5, 1, Message{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace prs::simnet

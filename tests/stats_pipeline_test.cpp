@@ -1,0 +1,160 @@
+// Tests for the job-level statistics: per-phase decomposition, utilization
+// counters, and their consistency with the pipeline's structure.
+#include <gtest/gtest.h>
+
+#include "apps/cmeans.hpp"
+#include "apps/wordcount.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/job_runner.hpp"
+
+namespace prs::core {
+namespace {
+
+MapReduceSpec<int, long> simple_spec(double flops_per_item = 1000.0) {
+  MapReduceSpec<int, long> spec;
+  spec.name = "stats-probe";
+  spec.cpu_map = [](const InputSlice& s, Emitter<int, long>& e) {
+    e.emit(0, static_cast<long>(s.size()));
+  };
+  spec.combine = [](const long& a, const long& b) { return a + b; };
+  spec.cpu_flops_per_item = flops_per_item;
+  spec.gpu_flops_per_item = flops_per_item;
+  spec.ai_cpu = 50.0;
+  spec.ai_gpu = 50.0;
+  spec.gpu_data_cached = true;
+  spec.item_bytes = 20.0;
+  return spec;
+}
+
+TEST(PhaseStats, PhasesRoughlySumToElapsed) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2, NodeConfig{});
+  auto spec = simple_spec();
+  auto res = run_job(cluster, spec, JobConfig{}, 100000);
+  const auto& s = res.stats;
+  const double sum = s.startup_time + s.map_time + s.shuffle_time +
+                     s.reduce_time + s.gather_time;
+  // Phase maxima are per-node; their sum bounds elapsed from above within
+  // the slack of inter-node skew.
+  EXPECT_GE(sum, s.elapsed * 0.7);
+  EXPECT_LE(s.map_time, s.elapsed);
+  EXPECT_GT(s.map_time, 0.0);
+  EXPECT_GT(s.shuffle_time, 0.0);
+  EXPECT_GT(s.gather_time, 0.0);
+}
+
+TEST(PhaseStats, StartupChargeIsVisibleAndSwitchable) {
+  auto startup = [](bool charge) {
+    sim::Simulator sim;
+    Cluster cluster(sim, 1, NodeConfig{});
+    auto spec = simple_spec();
+    JobConfig cfg;
+    cfg.charge_job_startup = charge;
+    return run_job(cluster, spec, cfg, 1000).stats.startup_time;
+  };
+  EXPECT_GT(startup(true), 0.5);  // kPrsJobStartup dominates
+  EXPECT_LT(startup(false), 0.01);
+}
+
+TEST(PhaseStats, ComputeBoundJobsAreMapDominated) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2, NodeConfig{});
+  auto spec = simple_spec(/*flops_per_item=*/50000.0);
+  JobConfig cfg;
+  cfg.charge_job_startup = false;
+  auto res = run_job(cluster, spec, cfg, 500000);
+  const auto& s = res.stats;
+  const double total = s.startup_time + s.map_time + s.shuffle_time +
+                       s.reduce_time + s.gather_time;
+  EXPECT_GT(s.map_time / total, 0.9);
+}
+
+TEST(PhaseStats, WideKeySpaceShiftsTimeIntoShuffle) {
+  Rng rng(8);
+  auto corpus = std::make_shared<const apps::Corpus>(
+      apps::generate_corpus(rng, 5000, 8, 3000));
+  sim::Simulator sim;
+  Cluster cluster(sim, 4, NodeConfig{});
+  JobConfig cfg;
+  cfg.charge_job_startup = false;
+  JobStats s;
+  (void)apps::wordcount_prs(cluster, corpus, cfg, &s);
+  // Thousands of string keys: the shuffle+gather share is substantial.
+  const double total = s.startup_time + s.map_time + s.shuffle_time +
+                       s.reduce_time + s.gather_time;
+  EXPECT_GT((s.shuffle_time + s.gather_time) / total, 0.2);
+}
+
+TEST(PhaseStats, IterativeAccumulatesPhaseTimes) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2, NodeConfig{});
+  apps::CmeansParams p;
+  p.clusters = 5;
+  p.max_iterations = 4;
+  JobConfig cfg;
+  cfg.charge_job_startup = false;
+  auto stats = apps::cmeans_prs_modeled(cluster, 100000, 50, p, cfg);
+  EXPECT_EQ(stats.iterations, 4);
+  EXPECT_GT(stats.map_time, 0.0);
+  // Four iterations of map work: per-iteration map time times 4, roughly.
+  EXPECT_GT(stats.map_time, 3.0 * stats.map_time / 4.0);
+}
+
+TEST(UtilizationStats, BusyTimeNeverExceedsElapsedTimesCapacity) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 2, NodeConfig{});
+  auto spec = simple_spec();
+  JobConfig cfg;
+  cfg.charge_job_startup = false;
+  auto res = run_job(cluster, spec, cfg, 200000);
+  const auto& s = res.stats;
+  // 2 nodes x 12 cores.
+  EXPECT_LE(s.cpu_busy, s.elapsed * 24.0 * 1.001);
+  // 2 nodes x 1 GPU compute engine.
+  EXPECT_LE(s.gpu_busy, s.elapsed * 2.0 * 1.001);
+}
+
+TEST(UtilizationStats, PcieTrafficMatchesIntermediateVolume) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 1, NodeConfig{});
+  auto spec = simple_spec();
+  spec.gpu_data_cached = true;      // no input staging
+  spec.gpu_item_d2h_bytes = 4.0;    // only the per-item D2H remains
+  spec.pair_bytes = 0.5;
+  JobConfig cfg;
+  cfg.use_cpu = false;  // all items through the GPU
+  cfg.charge_job_startup = false;
+  auto res = run_job(cluster, spec, cfg, 10000);
+  // D2H = items * 4 + pairs * 0.5 + reduce round trip (pairs-based, small).
+  EXPECT_NEAR(res.stats.pcie_bytes, 10000 * 4.0, 10000 * 4.0 * 0.05);
+}
+
+TEST(UtilizationStats, NetworkBytesZeroOnSingleNode) {
+  sim::Simulator sim;
+  Cluster cluster(sim, 1, NodeConfig{});
+  auto spec = simple_spec();
+  auto res = run_job(cluster, spec, JobConfig{}, 5000);
+  EXPECT_DOUBLE_EQ(res.stats.network_bytes, 0.0);  // loopback is free
+}
+
+TEST(UtilizationStats, NetworkBytesGrowWithClusterSize) {
+  auto net = [](int nodes) {
+    sim::Simulator sim;
+    Cluster cluster(sim, nodes, NodeConfig{});
+    MapReduceSpec<int, long> spec = simple_spec();
+    // Many keys so the shuffle actually moves data.
+    spec.cpu_map = [](const InputSlice& s, Emitter<int, long>& e) {
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        e.emit(static_cast<int>(i % 100), 1);
+      }
+    };
+    spec.pair_bytes = 64.0;
+    return run_job(cluster, spec, JobConfig{}, 20000).stats.network_bytes;
+  };
+  EXPECT_GT(net(4), net(2));
+  EXPECT_GT(net(2), 0.0);
+}
+
+}  // namespace
+}  // namespace prs::core

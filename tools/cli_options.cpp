@@ -1,0 +1,144 @@
+#include "tools/cli_options.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace prs::tools {
+namespace {
+
+bool parse_u64(const std::string& v, std::uint64_t& out) {
+  const char* b = v.data();
+  const char* e = b + v.size();
+  auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc() && p == e;
+}
+
+bool parse_int(const std::string& v, int& out) {
+  const char* b = v.data();
+  const char* e = b + v.size();
+  auto [p, ec] = std::from_chars(b, e, out);
+  return ec == std::errc() && p == e;
+}
+
+bool parse_double(const std::string& v, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(v, &pos);
+    return pos == v.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(prs_run — run an SPMD application on a simulated CPU+GPU cluster
+
+usage: prs_run [options]
+  --app=NAME          cmeans | kmeans | gmm | gemv | fft | wordcount
+  --testbed=NAME      delta (default) | bigred2 | phi
+  --nodes=N           fat nodes in the cluster (default 4)
+  --gpus=N            GPU cards per node (default 1)
+  --points=N          input items / points / signals / lines
+  --dims=D            point dimensionality (clustering apps)
+  --clusters=M        clusters / mixture components
+  --iterations=I      max iterations (iterative apps)
+  --rows=M --cols=N   GEMV shape; --cols is also the FFT signal size
+  --scheduling=MODE   static (default, Eq (8)) | dynamic (block polling)
+  --cpu-fraction=P    override the analytic CPU share p in [0,1]
+  --functional        compute real results (default: modeled virtual time)
+  --gpu-only          disable the CPU backend
+  --cpu-only          disable the GPU backend
+  --seed=S            RNG seed (default 42)
+  --list              list apps and testbeds
+  --help              this text
+)";
+}
+
+bool parse_options(int argc, char** argv, Options& out, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out.show_help = true;
+      return true;
+    }
+    if (arg == "--list") {
+      out.show_list = true;
+      return true;
+    }
+    if (arg == "--functional") {
+      out.functional = true;
+      continue;
+    }
+    if (arg == "--gpu-only") {
+      out.gpu_only = true;
+      continue;
+    }
+    if (arg == "--cpu-only") {
+      out.cpu_only = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      error = "unrecognized argument: " + arg + " (see --help)";
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string val = arg.substr(eq + 1);
+    bool ok = true;
+    std::uint64_t u = 0;
+    if (key == "app") {
+      out.app = val;
+    } else if (key == "testbed") {
+      out.testbed = val;
+      ok = val == "delta" || val == "bigred2" || val == "phi";
+    } else if (key == "scheduling") {
+      out.scheduling = val;
+      ok = val == "static" || val == "dynamic";
+    } else if (key == "nodes") {
+      ok = parse_int(val, out.nodes) && out.nodes >= 1;
+    } else if (key == "gpus") {
+      ok = parse_int(val, out.gpus) && out.gpus >= 0;
+    } else if (key == "points" || key == "lines" || key == "signals") {
+      ok = parse_u64(val, u) && u > 0;
+      out.points = u;
+    } else if (key == "dims") {
+      ok = parse_u64(val, u) && u > 0;
+      out.dims = u;
+    } else if (key == "clusters" || key == "components") {
+      ok = parse_int(val, out.clusters) && out.clusters >= 1;
+    } else if (key == "iterations") {
+      ok = parse_int(val, out.iterations) && out.iterations >= 1;
+    } else if (key == "rows") {
+      ok = parse_u64(val, u) && u > 0;
+      out.rows = u;
+    } else if (key == "cols") {
+      ok = parse_u64(val, u) && u > 0;
+      out.cols = u;
+    } else if (key == "cpu-fraction") {
+      ok = parse_double(val, out.cpu_fraction) && out.cpu_fraction >= 0.0 &&
+           out.cpu_fraction <= 1.0;
+    } else if (key == "seed") {
+      ok = parse_u64(val, out.seed);
+    } else {
+      error = "unknown option: --" + key + " (see --help)";
+      return false;
+    }
+    if (!ok) {
+      error = "invalid value for --" + key + ": " + val;
+      return false;
+    }
+  }
+  if (out.gpu_only && out.cpu_only) {
+    error = "--gpu-only and --cpu-only are mutually exclusive";
+    return false;
+  }
+  if (out.gpu_only && out.gpus == 0) {
+    error = "--gpu-only requires --gpus >= 1";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prs::tools

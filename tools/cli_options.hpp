@@ -1,0 +1,71 @@
+// Command-line option parsing for the prs_run driver.
+//
+// Deliberately dependency-free: --key=value / --flag syntax, validated
+// against the option table below. Exposed as a header so the parser is
+// unit-testable (tests/cli_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/job.hpp"
+#include "simdev/device_spec.hpp"
+
+namespace prs::tools {
+
+struct Options {
+  std::string app = "cmeans";
+  std::string testbed = "delta";     // delta | bigred2 | phi
+  std::string scheduling = "static"; // static | dynamic
+  int nodes = 4;
+  int gpus = 1;
+  std::size_t points = 200000;
+  std::size_t dims = 100;
+  int clusters = 10;
+  int iterations = 10;
+  std::size_t rows = 35000;
+  std::size_t cols = 10000;
+  bool functional = false;   // default: modeled (paper-scale safe)
+  bool gpu_only = false;
+  bool cpu_only = false;
+  double cpu_fraction = -1.0;
+  std::uint64_t seed = 42;
+  bool show_help = false;
+  bool show_list = false;
+
+  /// Node hardware from the --testbed/--gpus flags.
+  core::NodeConfig node_config() const {
+    core::NodeConfig cfg;
+    if (testbed == "bigred2") {
+      cfg.cpu = simdev::bigred2_cpu();
+      cfg.gpu = simdev::bigred2_k20();
+    } else if (testbed == "phi") {
+      cfg.gpu = simdev::xeon_phi_5110p();
+    }
+    cfg.gpus_per_node = gpus;
+    return cfg;
+  }
+
+  /// Job configuration from the mode/backend/scheduling flags.
+  core::JobConfig job_config() const {
+    core::JobConfig cfg;
+    cfg.mode = functional ? core::ExecutionMode::kFunctional
+                          : core::ExecutionMode::kModeled;
+    cfg.scheduling = scheduling == "dynamic" ? core::SchedulingMode::kDynamic
+                                             : core::SchedulingMode::kStatic;
+    cfg.use_cpu = !gpu_only;
+    cfg.use_gpu = !cpu_only;
+    cfg.cpu_fraction_override = cpu_fraction;
+    return cfg;
+  }
+};
+
+/// Parses argv into `out`. Returns false (and sets `error`) on unknown
+/// options, malformed values, or inconsistent combinations.
+bool parse_options(int argc, char** argv, Options& out, std::string& error);
+
+/// The --help text.
+std::string usage();
+
+}  // namespace prs::tools

@@ -1,0 +1,202 @@
+// prs_run — command-line driver for the PRS runtime.
+//
+// Runs any built-in application on a configurable simulated cluster and
+// prints results plus the runtime's scheduling/utilization statistics.
+//
+//   prs_run --app=cmeans --nodes=4 --points=200000 --dims=100 --clusters=10
+//   prs_run --app=gemv --rows=35000 --cols=10000 --gpu-only
+//   prs_run --app=wordcount --lines=20000 --mode=functional
+//   prs_run --app=gmm --testbed=bigred2 --gpus=1 --scheduling=dynamic
+//   prs_run --list
+//
+// Modeled mode (default for big inputs) charges paper-scale virtual time
+// without allocating the data; functional mode computes real results.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/cmeans.hpp"
+#include "apps/fftbatch.hpp"
+#include "apps/gemv.hpp"
+#include "apps/gmm.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/wordcount.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/cluster.hpp"
+#include "data/dataset.hpp"
+#include "tools/cli_options.hpp"
+
+namespace {
+
+using namespace prs;
+
+void print_stats(const core::JobStats& s, int nodes) {
+  std::printf("\n-- runtime statistics --\n");
+  std::printf("virtual time        %s\n",
+              units::format_time(s.elapsed).c_str());
+  std::printf("throughput          %s (%s per node)\n",
+              units::format_flops(s.flops_rate()).c_str(),
+              units::format_flops(s.flops_rate() / nodes).c_str());
+  std::printf("CPU / GPU flops     %.3g / %.3g (CPU share %.1f%%)\n",
+              s.cpu_flops, s.gpu_flops,
+              s.total_flops() > 0 ? s.cpu_flops / s.total_flops() * 100 : 0);
+  std::printf("map tasks           %llu (+%llu reduce)\n",
+              static_cast<unsigned long long>(s.map_tasks),
+              static_cast<unsigned long long>(s.reduce_tasks));
+  std::printf("PCI-E traffic       %s\n",
+              units::format_bytes(s.pcie_bytes).c_str());
+  std::printf("network traffic     %s\n",
+              units::format_bytes(s.network_bytes).c_str());
+  const double phases = s.startup_time + s.map_time + s.shuffle_time +
+                        s.reduce_time + s.gather_time;
+  if (phases > 0) {
+    std::printf(
+        "phase breakdown     startup %.0f%% | map %.0f%% | shuffle %.0f%% | "
+        "reduce %.0f%% | gather %.0f%%\n",
+        s.startup_time / phases * 100, s.map_time / phases * 100,
+        s.shuffle_time / phases * 100, s.reduce_time / phases * 100,
+        s.gather_time / phases * 100);
+  }
+}
+
+int run(const tools::Options& opt) {
+  sim::Simulator sim;
+  core::NodeConfig node = opt.node_config();
+  core::Cluster cluster(sim, opt.nodes, node);
+  core::JobConfig cfg = opt.job_config();
+
+  const auto& sched = cluster.scheduler(0);
+  Rng rng(opt.seed);
+  core::JobStats stats;
+
+  if (opt.app == "cmeans" || opt.app == "kmeans") {
+    const double ai = opt.app == "cmeans"
+                          ? apps::cmeans_arithmetic_intensity(opt.clusters)
+                          : apps::kmeans_arithmetic_intensity(opt.clusters);
+    std::printf("%s: N=%zu D=%zu M=%d iters<=%d | AI=%g -> p=%.1f%%\n",
+                opt.app.c_str(), opt.points, opt.dims, opt.clusters,
+                opt.iterations, ai,
+                sched.workload_split(ai, false, node.gpus_per_node)
+                        .cpu_fraction *
+                    100.0);
+    if (opt.functional) {
+      auto ds = data::generate_blobs(rng, opt.points, opt.dims,
+                                     opt.clusters, 10.0, 1.0);
+      if (opt.app == "cmeans") {
+        apps::CmeansParams p;
+        p.clusters = opt.clusters;
+        p.max_iterations = opt.iterations;
+        p.seed = opt.seed;
+        auto res = apps::cmeans_prs(cluster, ds.points, p, cfg, &stats);
+        std::printf("converged in %d iterations, J_m = %.6g\n",
+                    res.iterations, res.objective);
+      } else {
+        apps::KmeansParams p;
+        p.clusters = opt.clusters;
+        p.max_iterations = opt.iterations;
+        p.seed = opt.seed;
+        auto res = apps::kmeans_prs(cluster, ds.points, p, cfg, &stats);
+        std::printf("converged in %d iterations, inertia = %.6g\n",
+                    res.iterations, res.inertia);
+      }
+    } else if (opt.app == "cmeans") {
+      apps::CmeansParams p;
+      p.clusters = opt.clusters;
+      p.max_iterations = opt.iterations;
+      stats = apps::cmeans_prs_modeled(cluster, opt.points, opt.dims, p, cfg);
+    } else {
+      apps::KmeansParams p;
+      p.clusters = opt.clusters;
+      p.max_iterations = opt.iterations;
+      stats = apps::kmeans_prs_modeled(cluster, opt.points, opt.dims, p, cfg);
+    }
+  } else if (opt.app == "gmm") {
+    const double ai =
+        apps::gmm_arithmetic_intensity(opt.clusters, opt.dims);
+    std::printf("gmm: N=%zu D=%zu M=%d iters<=%d | AI=%g -> p=%.1f%%\n",
+                opt.points, opt.dims, opt.clusters, opt.iterations, ai,
+                sched.workload_split(ai, false, node.gpus_per_node)
+                        .cpu_fraction *
+                    100.0);
+    if (opt.functional) {
+      auto ds = data::generate_blobs(rng, opt.points, opt.dims,
+                                     opt.clusters, 10.0, 1.0);
+      apps::GmmParams p;
+      p.components = opt.clusters;
+      p.max_iterations = opt.iterations;
+      p.seed = opt.seed;
+      auto model = apps::gmm_prs(cluster, ds.points, p, cfg, &stats);
+      std::printf("converged in %d iterations, log-likelihood = %.6g\n",
+                  model.iterations, model.log_likelihood);
+    } else {
+      apps::GmmParams p;
+      p.components = opt.clusters;
+      p.max_iterations = opt.iterations;
+      stats = apps::gmm_prs_modeled(cluster, opt.points, opt.dims, p, cfg);
+    }
+  } else if (opt.app == "gemv") {
+    const double ai = apps::gemv_arithmetic_intensity();
+    std::printf("gemv: %zu x %zu | AI=%g -> p=%.1f%%\n", opt.rows, opt.cols,
+                ai,
+                sched.workload_split(ai, true, node.gpus_per_node)
+                        .cpu_fraction *
+                    100.0);
+    if (opt.functional) {
+      auto a = data::random_matrix(rng, opt.rows, opt.cols);
+      auto x = data::random_vector(rng, opt.cols);
+      auto y = apps::gemv_prs(cluster, a, x, cfg, &stats);
+      std::printf("y[0] = %.6g, y[n-1] = %.6g\n", y.front(), y.back());
+    } else {
+      stats = apps::gemv_prs_modeled(cluster, opt.rows, opt.cols, cfg);
+    }
+  } else if (opt.app == "fft") {
+    const double ai = linalg::fft_arithmetic_intensity(opt.cols);
+    std::printf("fft batch: %zu signals x %zu samples | AI=%g -> p=%.1f%%\n",
+                opt.points, opt.cols, ai,
+                sched.workload_split(ai, true, node.gpus_per_node)
+                        .cpu_fraction *
+                    100.0);
+    stats = apps::fft_batch_prs_modeled(cluster, opt.points, opt.cols, cfg);
+  } else if (opt.app == "wordcount") {
+    auto corpus = std::make_shared<const apps::Corpus>(
+        apps::generate_corpus(rng, opt.points, 8, 5000));
+    auto counts = apps::wordcount_prs(cluster, corpus, cfg, &stats);
+    std::printf("wordcount: %zu lines -> %zu distinct words\n", opt.points,
+                counts.size());
+  } else {
+    std::fprintf(stderr, "unknown --app=%s (try --list)\n", opt.app.c_str());
+    return 2;
+  }
+
+  print_stats(stats, opt.nodes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Options opt;
+  std::string error;
+  if (!tools::parse_options(argc, argv, opt, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (opt.show_help) {
+    std::printf("%s", tools::usage().c_str());
+    return 0;
+  }
+  if (opt.show_list) {
+    std::printf(
+        "apps: cmeans kmeans gmm gemv fft wordcount\n"
+        "testbeds: delta (Xeon 5660 + C2070), bigred2 (Opteron + K20), "
+        "phi (Xeon + Phi 5110P)\n");
+    return 0;
+  }
+  try {
+    return run(opt);
+  } catch (const prs::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
