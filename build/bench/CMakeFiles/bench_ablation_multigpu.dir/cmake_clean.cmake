@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multigpu.dir/bench_ablation_multigpu.cpp.o"
+  "CMakeFiles/bench_ablation_multigpu.dir/bench_ablation_multigpu.cpp.o.d"
+  "bench_ablation_multigpu"
+  "bench_ablation_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

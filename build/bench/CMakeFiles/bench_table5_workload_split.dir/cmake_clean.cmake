@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_workload_split.dir/bench_table5_workload_split.cpp.o"
+  "CMakeFiles/bench_table5_workload_split.dir/bench_table5_workload_split.cpp.o.d"
+  "bench_table5_workload_split"
+  "bench_table5_workload_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_workload_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

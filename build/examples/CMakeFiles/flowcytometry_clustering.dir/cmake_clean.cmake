@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowcytometry_clustering.dir/flowcytometry_clustering.cpp.o"
+  "CMakeFiles/flowcytometry_clustering.dir/flowcytometry_clustering.cpp.o.d"
+  "flowcytometry_clustering"
+  "flowcytometry_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowcytometry_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

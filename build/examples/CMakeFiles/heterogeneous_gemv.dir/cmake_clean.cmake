@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_gemv.dir/heterogeneous_gemv.cpp.o"
+  "CMakeFiles/heterogeneous_gemv.dir/heterogeneous_gemv.cpp.o.d"
+  "heterogeneous_gemv"
+  "heterogeneous_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cmeans.cpp" "src/apps/CMakeFiles/prs_apps.dir/cmeans.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/cmeans.cpp.o.d"
+  "/root/repo/src/apps/dgemm.cpp" "src/apps/CMakeFiles/prs_apps.dir/dgemm.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/dgemm.cpp.o.d"
+  "/root/repo/src/apps/fftbatch.cpp" "src/apps/CMakeFiles/prs_apps.dir/fftbatch.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/fftbatch.cpp.o.d"
+  "/root/repo/src/apps/gemv.cpp" "src/apps/CMakeFiles/prs_apps.dir/gemv.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/gemv.cpp.o.d"
+  "/root/repo/src/apps/gmm.cpp" "src/apps/CMakeFiles/prs_apps.dir/gmm.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/gmm.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/prs_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/prs_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/stencil.cpp.o.d"
+  "/root/repo/src/apps/wordcount.cpp" "src/apps/CMakeFiles/prs_apps.dir/wordcount.cpp.o" "gcc" "src/apps/CMakeFiles/prs_apps.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/prs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/prs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/prs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/prs_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/prs_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/prs_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

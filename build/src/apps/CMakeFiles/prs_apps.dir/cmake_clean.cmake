@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_apps.dir/cmeans.cpp.o"
+  "CMakeFiles/prs_apps.dir/cmeans.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/dgemm.cpp.o"
+  "CMakeFiles/prs_apps.dir/dgemm.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/fftbatch.cpp.o"
+  "CMakeFiles/prs_apps.dir/fftbatch.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/gemv.cpp.o"
+  "CMakeFiles/prs_apps.dir/gemv.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/gmm.cpp.o"
+  "CMakeFiles/prs_apps.dir/gmm.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/prs_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/stencil.cpp.o"
+  "CMakeFiles/prs_apps.dir/stencil.cpp.o.d"
+  "CMakeFiles/prs_apps.dir/wordcount.cpp.o"
+  "CMakeFiles/prs_apps.dir/wordcount.cpp.o.d"
+  "libprs_apps.a"
+  "libprs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_baselines.dir/cmeans_baselines.cpp.o"
+  "CMakeFiles/prs_baselines.dir/cmeans_baselines.cpp.o.d"
+  "libprs_baselines.a"
+  "libprs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_common.dir/error.cpp.o"
+  "CMakeFiles/prs_common.dir/error.cpp.o.d"
+  "CMakeFiles/prs_common.dir/log.cpp.o"
+  "CMakeFiles/prs_common.dir/log.cpp.o.d"
+  "CMakeFiles/prs_common.dir/rng.cpp.o"
+  "CMakeFiles/prs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/prs_common.dir/stats.cpp.o"
+  "CMakeFiles/prs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/prs_common.dir/table.cpp.o"
+  "CMakeFiles/prs_common.dir/table.cpp.o.d"
+  "CMakeFiles/prs_common.dir/units.cpp.o"
+  "CMakeFiles/prs_common.dir/units.cpp.o.d"
+  "libprs_common.a"
+  "libprs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprs_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_core.dir/cluster.cpp.o"
+  "CMakeFiles/prs_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/prs_core.dir/fat_node.cpp.o"
+  "CMakeFiles/prs_core.dir/fat_node.cpp.o.d"
+  "CMakeFiles/prs_core.dir/job.cpp.o"
+  "CMakeFiles/prs_core.dir/job.cpp.o.d"
+  "libprs_core.a"
+  "libprs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_data.dir/dataset.cpp.o"
+  "CMakeFiles/prs_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/prs_data.dir/metrics.cpp.o"
+  "CMakeFiles/prs_data.dir/metrics.cpp.o.d"
+  "libprs_data.a"
+  "libprs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

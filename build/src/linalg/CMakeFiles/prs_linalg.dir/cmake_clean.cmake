@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_linalg.dir/fft.cpp.o"
+  "CMakeFiles/prs_linalg.dir/fft.cpp.o.d"
+  "libprs_linalg.a"
+  "libprs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roofline/analytic_scheduler.cpp" "src/roofline/CMakeFiles/prs_roofline.dir/analytic_scheduler.cpp.o" "gcc" "src/roofline/CMakeFiles/prs_roofline.dir/analytic_scheduler.cpp.o.d"
+  "/root/repo/src/roofline/roofline.cpp" "src/roofline/CMakeFiles/prs_roofline.dir/roofline.cpp.o" "gcc" "src/roofline/CMakeFiles/prs_roofline.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/prs_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/prs_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

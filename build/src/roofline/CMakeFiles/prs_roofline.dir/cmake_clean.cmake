@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_roofline.dir/analytic_scheduler.cpp.o"
+  "CMakeFiles/prs_roofline.dir/analytic_scheduler.cpp.o.d"
+  "CMakeFiles/prs_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/prs_roofline.dir/roofline.cpp.o.d"
+  "libprs_roofline.a"
+  "libprs_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdev/cpu_device.cpp" "src/simdev/CMakeFiles/prs_simdev.dir/cpu_device.cpp.o" "gcc" "src/simdev/CMakeFiles/prs_simdev.dir/cpu_device.cpp.o.d"
+  "/root/repo/src/simdev/device_spec.cpp" "src/simdev/CMakeFiles/prs_simdev.dir/device_spec.cpp.o" "gcc" "src/simdev/CMakeFiles/prs_simdev.dir/device_spec.cpp.o.d"
+  "/root/repo/src/simdev/gpu_device.cpp" "src/simdev/CMakeFiles/prs_simdev.dir/gpu_device.cpp.o" "gcc" "src/simdev/CMakeFiles/prs_simdev.dir/gpu_device.cpp.o.d"
+  "/root/repo/src/simdev/region.cpp" "src/simdev/CMakeFiles/prs_simdev.dir/region.cpp.o" "gcc" "src/simdev/CMakeFiles/prs_simdev.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/prs_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_simdev.dir/cpu_device.cpp.o"
+  "CMakeFiles/prs_simdev.dir/cpu_device.cpp.o.d"
+  "CMakeFiles/prs_simdev.dir/device_spec.cpp.o"
+  "CMakeFiles/prs_simdev.dir/device_spec.cpp.o.d"
+  "CMakeFiles/prs_simdev.dir/gpu_device.cpp.o"
+  "CMakeFiles/prs_simdev.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/prs_simdev.dir/region.cpp.o"
+  "CMakeFiles/prs_simdev.dir/region.cpp.o.d"
+  "libprs_simdev.a"
+  "libprs_simdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_simdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

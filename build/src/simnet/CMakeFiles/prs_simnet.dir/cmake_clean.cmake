@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/prs_simnet.dir/fabric.cpp.o.d"
+  "libprs_simnet.a"
+  "libprs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_simtime.dir/simulator.cpp.o"
+  "CMakeFiles/prs_simtime.dir/simulator.cpp.o.d"
+  "libprs_simtime.a"
+  "libprs_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

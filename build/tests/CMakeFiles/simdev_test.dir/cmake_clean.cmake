@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdev_test.dir/simdev_test.cpp.o"
+  "CMakeFiles/simdev_test.dir/simdev_test.cpp.o.d"
+  "simdev_test"
+  "simdev_test.pdb"
+  "simdev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

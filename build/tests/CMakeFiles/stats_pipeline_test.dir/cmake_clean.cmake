@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_pipeline_test.dir/stats_pipeline_test.cpp.o"
+  "CMakeFiles/stats_pipeline_test.dir/stats_pipeline_test.cpp.o.d"
+  "stats_pipeline_test"
+  "stats_pipeline_test.pdb"
+  "stats_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_cli.dir/cli_options.cpp.o"
+  "CMakeFiles/prs_cli.dir/cli_options.cpp.o.d"
+  "libprs_cli.a"
+  "libprs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prs_run.dir/prs_run.cpp.o"
+  "CMakeFiles/prs_run.dir/prs_run.cpp.o.d"
+  "prs_run"
+  "prs_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prs_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
