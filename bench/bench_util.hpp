@@ -1,9 +1,17 @@
 // Shared helpers for the paper-reproduction bench harnesses: each bench
 // regenerates one table or figure of the paper and prints the measured
 // values next to the published ones with relative errors.
+//
+// Tracing: set PRS_TRACE_DIR=<dir> to make every cluster any bench builds
+// emit a virtual-clock timeline (<dir>/cluster<N>.json, Chrome trace-event
+// format — open in chrome://tracing or https://ui.perfetto.dev) plus a
+// metrics dump, with no per-bench code changes. The hook lives in
+// core::Cluster (see obs/ and DESIGN.md "Observability"); print_header
+// announces it so trace files are discoverable from the bench output.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/stats.hpp"
@@ -11,10 +19,19 @@
 
 namespace prs::bench {
 
+/// The PRS_TRACE_DIR environment variable, or nullptr when tracing is off.
+inline const char* trace_dir() {
+  const char* dir = std::getenv("PRS_TRACE_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : nullptr;
+}
+
 inline void print_header(const std::string& title, const std::string& note) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   if (!note.empty()) std::printf("%s\n", note.c_str());
+  if (const char* dir = trace_dir()) {
+    std::printf("tracing: timelines + metrics -> %s/cluster<N>.json\n", dir);
+  }
   std::printf("================================================================\n");
 }
 

@@ -1,6 +1,11 @@
 #include "core/cluster.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/units.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace prs::core {
 
@@ -33,7 +38,35 @@ Cluster::Cluster(sim::Simulator& sim, std::vector<NodeConfig> node_configs,
   build(node_configs);
 }
 
+Cluster::~Cluster() {
+  if (env_tracer_ == nullptr) return;
+  try {
+    obs::export_chrome_trace(*env_tracer_, env_trace_path_ + ".json");
+    if (!env_tracer_->metrics().empty()) {
+      obs::export_metrics(env_tracer_->metrics(),
+                          env_trace_path_ + ".metrics.csv");
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "warning: trace export failed: %s\n", e.what());
+  }
+  if (sim_.tracer() == env_tracer_.get()) sim_.set_tracer(nullptr);
+}
+
+void Cluster::maybe_attach_env_tracer() {
+  if (sim_.tracer() != nullptr) return;  // explicit attachment wins
+  const char* dir = std::getenv("PRS_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  // One file per cluster, numbered in construction order so repeated
+  // cluster setups within one process do not clobber each other.
+  static int next_cluster_id = 0;
+  env_tracer_ = std::make_unique<obs::TraceRecorder>(sim_);
+  env_trace_path_ =
+      std::string(dir) + "/cluster" + std::to_string(next_cluster_id++);
+  sim_.set_tracer(env_tracer_.get());
+}
+
 void Cluster::build(const std::vector<NodeConfig>& configs) {
+  maybe_attach_env_tracer();
   node_configs_ = configs;
   for (std::size_t r = 0; r < configs.size(); ++r) {
     nodes_.push_back(

@@ -8,12 +8,17 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/fat_node.hpp"
 #include "roofline/analytic_scheduler.hpp"
 #include "simnet/fabric.hpp"
 #include "simtime/simulator.hpp"
+
+namespace prs::obs {
+class TraceRecorder;
+}
 
 namespace prs::core {
 
@@ -35,6 +40,9 @@ class Cluster {
           simnet::FabricSpec fabric_spec);
   Cluster(sim::Simulator& sim, std::vector<NodeConfig> node_configs)
       : Cluster(sim, std::move(node_configs), default_fabric_spec()) {}
+
+  /// Exports the PRS_TRACE_DIR-owned trace, if any (see below).
+  ~Cluster();
 
   int size() const { return static_cast<int>(nodes_.size()); }
   sim::Simulator& simulator() { return sim_; }
@@ -62,12 +70,21 @@ class Cluster {
  private:
   void build(const std::vector<NodeConfig>& configs);
 
+  // Observability escape hatch: when $PRS_TRACE_DIR is set and the
+  // simulator has no recorder attached yet, the cluster owns one and
+  // exports <dir>/cluster<N>.json (+ .metrics.csv) on destruction. This is
+  // how every bench/tool emits a timeline without per-call-site changes;
+  // explicit attachments (prs_run --trace) always win.
+  void maybe_attach_env_tracer();
+
   sim::Simulator& sim_;
   std::vector<NodeConfig> node_configs_;
   bool homogeneous_ = true;
   std::unique_ptr<simnet::Fabric> fabric_;
   std::vector<std::unique_ptr<FatNode>> nodes_;
   std::vector<std::unique_ptr<roofline::AnalyticScheduler>> schedulers_;
+  std::unique_ptr<obs::TraceRecorder> env_tracer_;
+  std::string env_trace_path_;  // without extension
 };
 
 }  // namespace prs::core

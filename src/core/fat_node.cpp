@@ -1,12 +1,22 @@
 #include "core/fat_node.hpp"
 
+#include <string>
+
 namespace prs::core {
 
 FatNode::FatNode(sim::Simulator& sim, const NodeConfig& cfg, int node_id)
-    : id_(node_id), cpu_(sim, cfg.cpu, cfg.reserved_cpu_cores) {
+    : id_(node_id),
+      cpu_(sim, cfg.cpu, cfg.reserved_cpu_cores),
+      region_(64 * 1024, 8 * 1024 * 1024, &sim,
+              "node" + std::to_string(node_id)) {
   PRS_REQUIRE(cfg.gpus_per_node >= 0, "gpus_per_node must be >= 0");
+  // All of this node's trace tracks file under one "process" (obs/trace.hpp
+  // naming scheme): node<r> -> cpu.core<k> / gpu<g>.s<s> / region / ...
+  cpu_.set_trace_process("node" + std::to_string(node_id));
   for (int i = 0; i < cfg.gpus_per_node; ++i) {
     gpus_.push_back(std::make_unique<simdev::GpuDevice>(sim, cfg.gpu));
+    gpus_.back()->set_trace_context("node" + std::to_string(node_id),
+                                    "gpu" + std::to_string(i));
   }
 }
 

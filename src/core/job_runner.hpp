@@ -30,6 +30,7 @@
 #include "core/cluster.hpp"
 #include "core/job.hpp"
 #include "core/mapreduce_spec.hpp"
+#include "obs/trace.hpp"
 #include "simtime/channel.hpp"
 #include "simtime/future.hpp"
 #include "simtime/process.hpp"
@@ -250,6 +251,33 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
   const JobConfig& cfg = st->cfg;
   const int nodes = cluster.size();
 
+  // Per-node phase spans + scheduler-decision markers go on the node's
+  // "runner" track; tr == nullptr (the default) keeps every record site to
+  // one branch.
+  obs::TraceRecorder* tr = sim.tracer();
+  if (tr != nullptr && !tr->enabled()) tr = nullptr;
+  obs::TrackId runner_track = 0;
+  obs::ScopedSpan job_span;
+  if (tr != nullptr) {
+    const auto rk = static_cast<std::size_t>(rank);
+    runner_track = tr->track("node" + std::to_string(rank), "runner");
+    // The level-2 decision this node runs with: Eq (8)'s CPU share p,
+    // Eqs (9)-(11)'s stream count, and the block granularities.
+    tr->instant(
+        runner_track, "sched.decision", "sched",
+        {obs::arg("p", st->cpu_fraction[rk]),
+         obs::arg("gpu_streams", st->gpu_streams[rk]),
+         obs::arg("partitions",
+                  static_cast<std::uint64_t>(st->node_partitions[rk].size())),
+         obs::arg("cpu_blocks",
+                  roofline::AnalyticScheduler::cpu_block_count(
+                      node.cpu().cores(), cfg.cpu_block_multiplier)),
+         obs::arg("mode", cfg.scheduling == SchedulingMode::kStatic
+                              ? "static"
+                              : "dynamic")});
+    job_span = obs::ScopedSpan(tr, runner_track, spec.name + ":job", "job");
+  }
+
   const double phase_t0 = sim.now();
 
   // -- job startup (master handshake, daemon spin-up) ------------------------
@@ -281,6 +309,9 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
   }
 
   st->startup_time = std::max(st->startup_time, sim.now() - phase_t0);
+  if (tr != nullptr && sim.now() > phase_t0) {
+    tr->complete(runner_track, "startup", "phase", phase_t0, sim.now());
+  }
   const double map_t0 = sim.now();
 
   // -- map stage --------------------------------------------------------------
@@ -372,6 +403,11 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
                                calib::kPrsPerItemOverhead);
 
   st->map_time = std::max(st->map_time, sim.now() - map_t0);
+  if (tr != nullptr) {
+    tr->complete(runner_track, "map", "phase", map_t0, sim.now(),
+                 {obs::arg("items", static_cast<std::uint64_t>(node_items)),
+                  obs::arg("gpu_items", batch.gpu_items)});
+  }
 
   // -- local combine (the paper's optional combiner(), Table 1) ---------------
   // -- then shuffle: pairs with the same key land on hash(key) % nodes --------
@@ -407,10 +443,18 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
         static_cast<double>(payload->size()) * spec.pair_bytes;
     outbound.emplace_back(bytes, std::move(payload));
   }
+  if (tr != nullptr) {
+    auto& h = tr->metrics().histogram("shuffle.msg_bytes",
+                                      obs::geometric_buckets(64.0, 4.0, 16));
+    for (const auto& m : outbound) h.observe(m.bytes);
+  }
   const double shuffle_t0 = sim.now();
   auto a2a = comm.all_to_all(std::move(outbound), kShuffleTag);
   std::vector<simnet::Message> inbound = co_await a2a;
   st->shuffle_time = std::max(st->shuffle_time, sim.now() - shuffle_t0);
+  if (tr != nullptr) {
+    tr->complete(runner_track, "shuffle", "phase", shuffle_t0, sim.now());
+  }
   const double reduce_t0 = sim.now();
 
   // -- reduce stage -------------------------------------------------------------
@@ -460,6 +504,11 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
     co_await reduces_done;
   }
   st->reduce_time = std::max(st->reduce_time, sim.now() - reduce_t0);
+  if (tr != nullptr) {
+    tr->complete(runner_track, "reduce", "phase", reduce_t0, sim.now(),
+                 {obs::arg("pairs",
+                           static_cast<std::uint64_t>(reduce_pairs))});
+  }
   const double gather_t0 = sim.now();
 
   // -- gather final values on the master ----------------------------------------
@@ -485,6 +534,9 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
   }
 
   st->gather_time = std::max(st->gather_time, sim.now() - gather_t0);
+  if (tr != nullptr) {
+    tr->complete(runner_track, "gather", "phase", gather_t0, sim.now());
+  }
 
   // Region-based memory: all of this job's intermediates go at once.
   node.region().clear();
@@ -614,6 +666,17 @@ JobResult<K, V> run_job(Cluster& cluster, const MapReduceSpec<K, V>& spec,
   result.stats.shuffle_time = st->shuffle_time;
   result.stats.reduce_time = st->reduce_time;
   result.stats.gather_time = st->gather_time;
+
+  if (obs::TraceRecorder* tr = sim.tracer();
+      tr != nullptr && tr->enabled()) {
+    auto& m = tr->metrics();
+    m.counter("job.runs").increment();
+    m.counter("job.map_tasks").add(static_cast<double>(st->map_tasks));
+    m.counter("job.reduce_tasks").add(static_cast<double>(st->reduce_tasks));
+    m.counter("job.intermediate_pairs")
+        .add(static_cast<double>(st->intermediate_pairs));
+    m.counter("job.virtual_seconds").add(result.stats.elapsed);
+  }
   return result;
 }
 

@@ -1,0 +1,216 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace prs::obs {
+namespace {
+
+/// Virtual seconds -> trace microseconds with fixed precision (1 ns
+/// resolution); fixed formatting keeps exports byte-identical across runs.
+std::string format_us(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_args(const std::vector<TraceArg>& args, std::ostream& out) {
+  out << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ",";
+    out << quote(args[i].key) << ":" << args[i].value;
+  }
+  out << "}";
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& rec, std::ostream& out) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata: name every process (one per fat node) and thread (one per
+  // daemon / stream / NIC track). sort_index keeps registration order in
+  // the viewer instead of alphabetical order.
+  std::vector<std::uint32_t> named_pids;
+  for (const TraceTrack& t : rec.tracks()) {
+    bool pid_named = false;
+    for (std::uint32_t p : named_pids) pid_named = pid_named || p == t.pid;
+    if (!pid_named) {
+      named_pids.push_back(t.pid);
+      sep();
+      out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << t.pid
+          << ",\"args\":{\"name\":" << quote(t.process) << "}}";
+      sep();
+      out << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << t.pid
+          << ",\"args\":{\"sort_index\":" << t.pid << "}}";
+    }
+    sep();
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << t.pid
+        << ",\"tid\":" << t.tid << ",\"args\":{\"name\":" << quote(t.thread)
+        << "}}";
+    sep();
+    out << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":" << t.pid
+        << ",\"tid\":" << t.tid << ",\"args\":{\"sort_index\":" << t.tid
+        << "}}";
+  }
+
+  for (const TraceEvent& e : rec.events()) {
+    const TraceTrack& t = rec.tracks()[e.track];
+    sep();
+    switch (e.phase) {
+      case TraceEvent::Phase::kComplete:
+        out << "{\"ph\":\"X\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+            << ",\"ts\":" << format_us(e.ts) << ",\"dur\":" << format_us(e.dur)
+            << ",\"name\":" << quote(e.name) << ",\"cat\":"
+            << quote(e.category.empty() ? "prs" : e.category);
+        if (!e.args.empty()) {
+          out << ",\"args\":";
+          write_args(e.args, out);
+        }
+        out << "}";
+        break;
+      case TraceEvent::Phase::kInstant:
+        out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << t.pid
+            << ",\"tid\":" << t.tid << ",\"ts\":" << format_us(e.ts)
+            << ",\"name\":" << quote(e.name) << ",\"cat\":"
+            << quote(e.category.empty() ? "prs" : e.category);
+        if (!e.args.empty()) {
+          out << ",\"args\":";
+          write_args(e.args, out);
+        }
+        out << "}";
+        break;
+      case TraceEvent::Phase::kCounter:
+        out << "{\"ph\":\"C\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+            << ",\"ts\":" << format_us(e.ts) << ",\"name\":" << quote(e.name)
+            << ",\"args\":";
+        write_args(e.args, out);
+        out << "}";
+        break;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_string(const TraceRecorder& rec) {
+  std::ostringstream out;
+  write_chrome_trace(rec, out);
+  return out.str();
+}
+
+void export_chrome_trace(const TraceRecorder& rec, const std::string& path) {
+  auto out = open_for_write(path);
+  write_chrome_trace(rec, out);
+  if (!out) throw Error("failed writing trace to " + path);
+}
+
+void write_metrics_csv(const MetricsRegistry& metrics, std::ostream& out) {
+  out << "kind,name,count,sum,min,max,mean\n";
+  for (const auto& [name, c] : metrics.counters()) {
+    out << "counter," << name << ",," << format_value(c.value()) << ",,,\n";
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    out << "histogram," << name << "," << h.count() << ","
+        << format_value(h.sum()) << "," << format_value(h.min()) << ","
+        << format_value(h.max()) << "," << format_value(h.mean()) << "\n";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      out << "bucket," << name << "[le="
+          << (i < h.bounds().size() ? format_value(h.bounds()[i]) : "inf")
+          << "]," << h.buckets()[i] << ",,,,\n";
+    }
+  }
+}
+
+void write_metrics_json(const MetricsRegistry& metrics, std::ostream& out) {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : metrics.counters()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << quote(name) << ":" << format_value(c.value());
+  }
+  out << "},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n"
+        << quote(name) << ":{\"count\":" << h.count()
+        << ",\"sum\":" << format_value(h.sum())
+        << ",\"min\":" << format_value(h.min())
+        << ",\"max\":" << format_value(h.max())
+        << ",\"mean\":" << format_value(h.mean()) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) out << ",";
+      out << format_value(h.bounds()[i]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.buckets()[i];
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+}
+
+void export_metrics(const MetricsRegistry& metrics, const std::string& path) {
+  auto out = open_for_write(path);
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    write_metrics_json(metrics, out);
+  } else {
+    write_metrics_csv(metrics, out);
+  }
+  if (!out) throw Error("failed writing metrics to " + path);
+}
+
+}  // namespace prs::obs

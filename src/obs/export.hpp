@@ -1,0 +1,42 @@
+// Exporters for the observability buffers (obs/trace.hpp, obs/metrics.hpp):
+//
+//   * Chrome trace-event JSON — load in chrome://tracing or
+//     https://ui.perfetto.dev. One "process" per fat node, one "thread" per
+//     runner / CPU lane / GPU stream / NIC track, metadata events naming
+//     both, then all spans ("X"), instants ("i") and counter samples ("C").
+//   * Flat metrics dump — one row per counter and per histogram, as CSV or
+//     JSON (export_metrics() picks by the path's ".json" suffix).
+//
+// All writers emit events in recording order with fixed number formatting,
+// so deterministic runs export byte-identical files.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace prs::obs {
+
+/// Writes the recorder's buffer as Chrome trace-event JSON.
+void write_chrome_trace(const TraceRecorder& rec, std::ostream& out);
+
+/// Renders the Chrome trace-event JSON into a string (tests, tools).
+std::string chrome_trace_string(const TraceRecorder& rec);
+
+/// Writes the Chrome trace to `path`; throws prs::Error on I/O failure.
+void export_chrome_trace(const TraceRecorder& rec, const std::string& path);
+
+/// Flat metrics table, CSV: kind,name,count,sum,min,max,mean + one
+/// bucket row per histogram bucket.
+void write_metrics_csv(const MetricsRegistry& metrics, std::ostream& out);
+
+/// Flat metrics table, JSON: {"counters":{...},"histograms":{...}}.
+void write_metrics_json(const MetricsRegistry& metrics, std::ostream& out);
+
+/// Writes metrics to `path` (JSON when it ends in ".json", CSV otherwise);
+/// throws prs::Error on I/O failure.
+void export_metrics(const MetricsRegistry& metrics, const std::string& path);
+
+}  // namespace prs::obs

@@ -1,0 +1,60 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace prs::obs {
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)),
+      bucket_counts_(bounds_.size() + 1, 0) {
+  PRS_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  PRS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bucket bounds must be ascending");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++bucket_counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bucket_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bucket_bounds))).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::vector<double> geometric_buckets(double start, double factor, int n) {
+  PRS_REQUIRE(start > 0.0 && factor > 1.0 && n >= 1,
+              "geometric buckets need start > 0, factor > 1, n >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double b = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace prs::obs

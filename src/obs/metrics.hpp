@@ -1,0 +1,89 @@
+// Named runtime metrics recorded against the virtual clock: monotonic
+// counters plus fixed-bucket histograms (map-block latency, shuffle message
+// size, ...). A MetricsRegistry is owned by the TraceRecorder (obs/trace.hpp)
+// but is independently usable; exporters in obs/export.hpp dump it as a flat
+// CSV or JSON table.
+//
+// Determinism: registries iterate in name order (std::map), values are
+// plain doubles updated in simulator event order, so two identical runs
+// export byte-identical dumps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace prs::obs {
+
+/// A monotonically accumulating named value (bytes sent, tasks run, ...).
+class Counter {
+ public:
+  void add(double delta) { value_ += delta; }
+  void increment() { value_ += 1.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are set on first use and
+/// must not change afterwards.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  const std::vector<std::uint64_t>& buckets() const { return bucket_counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> bucket_counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> counter/histogram registry with deterministic (sorted) iteration.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it on first use.
+  Counter& counter(const std::string& name);
+
+  /// Returns the histogram named `name`; `bucket_bounds` (ascending) applies
+  /// on first use only — later callers get the existing histogram.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bucket_bounds);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Geometric bucket bounds {start, start*factor, ...} with `n` entries —
+/// the standard latency/size histogram shape.
+std::vector<double> geometric_buckets(double start, double factor, int n);
+
+}  // namespace prs::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "simtime/process.hpp"
 
 namespace prs::simdev {
@@ -46,15 +47,44 @@ sim::Future<sim::Unit> CpuDevice::submit(CpuTask task) {
   return fut;
 }
 
+int CpuDevice::acquire_trace_lane() {
+  // One visual lane per concurrently busy core; the core_pool_ semaphore
+  // bounds concurrency, so a free lane always exists.
+  if (trace_lane_busy_.empty()) {
+    trace_lane_busy_.resize(static_cast<std::size_t>(cores_in_use_), 0);
+  }
+  for (std::size_t i = 0; i < trace_lane_busy_.size(); ++i) {
+    if (trace_lane_busy_[i] == 0) {
+      trace_lane_busy_[i] = 1;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 sim::Process CpuDevice::task_worker(CpuTask task,
                                     sim::Promise<sim::Unit> done) {
   co_await core_pool_.acquire();
   sim::ResourceGuard core(core_pool_, 1);
   const double t = task_duration(task);
+  obs::TraceRecorder* tr = sim_.tracer();
+  const int lane =
+      (tr != nullptr && tr->enabled()) ? acquire_trace_lane() : -1;
   co_await sim::delay(sim_, t);
   busy_time_ += t;
   flops_executed_ += task.workload.flops;
   ++tasks_executed_;
+  if (lane >= 0) {
+    tr->complete(tr->track(trace_process_, "cpu.core" + std::to_string(lane)),
+                 task.name, "cpu", sim_.now() - t, sim_.now(),
+                 {obs::arg("flops", task.workload.flops),
+                  obs::arg("bytes", task.workload.mem_traffic)});
+    tr->metrics().counter("cpu.tasks").increment();
+    tr->metrics()
+        .histogram("cpu.task_seconds", obs::geometric_buckets(1e-6, 4.0, 16))
+        .observe(t);
+    trace_lane_busy_[static_cast<std::size_t>(lane)] = 0;
+  }
   if (task.body) task.body();
   done.set_value(sim::Unit{});
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "simdev/device_spec.hpp"
 #include "simdev/workload.hpp"
@@ -60,8 +61,17 @@ class CpuDevice {
   std::uint64_t tasks_executed() const { return tasks_executed_; }
   void reset_counters();
 
+  /// Trace "process" this device's spans are filed under (obs/trace.hpp);
+  /// FatNode sets "node<r>", standalone devices default to "dev". Tasks
+  /// appear on per-core lanes "cpu.core<k>" so concurrent spans never
+  /// overlap within one track.
+  void set_trace_process(std::string process) {
+    trace_process_ = std::move(process);
+  }
+
  private:
   sim::Process task_worker(CpuTask task, sim::Promise<sim::Unit> done);
+  int acquire_trace_lane();
 
   sim::Simulator& sim_;
   DeviceSpec spec_;
@@ -70,6 +80,8 @@ class CpuDevice {
   double busy_time_ = 0.0;
   double flops_executed_ = 0.0;
   std::uint64_t tasks_executed_ = 0;
+  std::string trace_process_ = "dev";
+  std::vector<std::uint8_t> trace_lane_busy_;  // per-core span lanes
 };
 
 }  // namespace prs::simdev

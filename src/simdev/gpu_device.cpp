@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "simtime/process.hpp"
 
 namespace prs::simdev {
@@ -112,7 +113,7 @@ GpuDevice::~GpuDevice() {
 Stream& GpuDevice::create_stream() {
   const int id = static_cast<int>(streams_.size());
   streams_.push_back(std::unique_ptr<Stream>(new Stream(*this, id)));
-  sim_.spawn(stream_worker(*streams_.back()->queue_));
+  sim_.spawn(stream_worker(*streams_.back()));
   return *streams_.back();
 }
 
@@ -149,10 +150,12 @@ void GpuDevice::reset_counters() {
   compute_busy_ = 0.0;
   flops_executed_ = 0.0;
   kernels_launched_ = 0;
+  pcie_.reset_counters();
 }
 
-sim::Process GpuDevice::stream_worker(
-    sim::Channel<std::shared_ptr<Stream::Command>>& q) {
+sim::Process GpuDevice::stream_worker(Stream& stream) {
+  sim::Channel<std::shared_ptr<Stream::Command>>& q = *stream.queue_;
+  const int stream_id = stream.id_;
   for (;;) {
     auto cmd = co_await q.recv();
     if (!cmd) break;  // device destroyed
@@ -161,11 +164,31 @@ sim::Process GpuDevice::stream_worker(
     // and kernels from different streams overlap.
     co_await hw_queues_.acquire();
     sim::ResourceGuard queue_slot(hw_queues_, 1);
+    // One branch per command when tracing is off; span strings are only
+    // built in the traced case below.
+    obs::TraceRecorder* tr = sim_.tracer();
+    if (tr != nullptr && !tr->enabled()) tr = nullptr;
+    const double t0 = sim_.now();
     switch ((*cmd)->type) {
       case Stream::Command::Type::kCopyH2D:
-      case Stream::Command::Type::kCopyD2H:
+      case Stream::Command::Type::kCopyD2H: {
+        const bool h2d = (*cmd)->type == Stream::Command::Type::kCopyH2D;
         co_await pcie_.transfer((*cmd)->bytes);
+        if (tr != nullptr) {
+          // Span covers PCI-E link queueing + serialization for this copy.
+          tr->complete(
+              tr->track(trace_process_,
+                        trace_gpu_label_ + ".s" + std::to_string(stream_id)),
+              h2d ? "memcpy_h2d" : "memcpy_d2h", "pcie", t0, sim_.now(),
+              {obs::arg("bytes", (*cmd)->bytes)});
+          tr->metrics().counter("pcie.bytes").add((*cmd)->bytes);
+          tr->metrics()
+              .histogram("pcie.copy_bytes",
+                         obs::geometric_buckets(1024.0, 4.0, 16))
+              .observe((*cmd)->bytes);
+        }
         break;
+      }
       case Stream::Command::Type::kKernel: {
         co_await compute_engine_.acquire();
         sim::ResourceGuard engine(compute_engine_, 1);
@@ -174,6 +197,21 @@ sim::Process GpuDevice::stream_worker(
         compute_busy_ += t;
         flops_executed_ += (*cmd)->kernel.workload.flops;
         ++kernels_launched_;
+        if (tr != nullptr) {
+          // Span covers execution only (compute-engine occupancy), not the
+          // wait for the engine.
+          tr->complete(
+              tr->track(trace_process_,
+                        trace_gpu_label_ + ".s" + std::to_string(stream_id)),
+              (*cmd)->kernel.name, "kernel", sim_.now() - t, sim_.now(),
+              {obs::arg("flops", (*cmd)->kernel.workload.flops),
+               obs::arg("bytes", (*cmd)->kernel.workload.mem_traffic)});
+          tr->metrics().counter("gpu.kernels").increment();
+          tr->metrics()
+              .histogram("gpu.kernel_seconds",
+                         obs::geometric_buckets(1e-6, 4.0, 16))
+              .observe(t);
+        }
         if ((*cmd)->kernel.body) (*cmd)->kernel.body();
         break;
       }

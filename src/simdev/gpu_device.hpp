@@ -144,11 +144,19 @@ class GpuDevice {
   /// Resets utilization counters (between bench phases).
   void reset_counters();
 
+  /// Trace labels (obs/trace.hpp): spans go on track
+  /// (`process`, "<gpu_label>.s<stream>"). FatNode sets ("node<r>",
+  /// "gpu<g>"); standalone devices default to ("dev", "gpu").
+  void set_trace_context(std::string process, std::string gpu_label) {
+    trace_process_ = std::move(process);
+    trace_gpu_label_ = std::move(gpu_label);
+  }
+
  private:
   friend class Stream;
   friend class DeviceAllocation;
 
-  sim::Process stream_worker(sim::Channel<std::shared_ptr<Stream::Command>>& q);
+  sim::Process stream_worker(Stream& stream);
   void free_bytes(std::uint64_t bytes);
 
   sim::Simulator& sim_;
@@ -161,6 +169,8 @@ class GpuDevice {
   double compute_busy_ = 0.0;
   double flops_executed_ = 0.0;
   std::uint64_t kernels_launched_ = 0;
+  std::string trace_process_ = "dev";
+  std::string trace_gpu_label_ = "gpu";
 };
 
 }  // namespace prs::simdev

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "simtime/simulator.hpp"
+
 namespace prs::simdev {
 namespace {
 
@@ -15,12 +18,28 @@ std::size_t align_up(std::size_t offset, std::size_t alignment) {
 
 }  // namespace
 
-Region::Region(std::size_t initial_chunk_bytes, std::size_t max_chunk_bytes)
-    : next_chunk_bytes_(initial_chunk_bytes),
+Region::Region(std::size_t initial_chunk_bytes, std::size_t max_chunk_bytes,
+               sim::Simulator* sim, std::string trace_process)
+    : sim_(sim),
+      trace_process_(std::move(trace_process)),
+      next_chunk_bytes_(initial_chunk_bytes),
       max_chunk_bytes_(max_chunk_bytes) {
   PRS_REQUIRE(initial_chunk_bytes > 0, "initial chunk must be non-empty");
   PRS_REQUIRE(max_chunk_bytes >= initial_chunk_bytes,
               "max chunk must be >= initial chunk");
+}
+
+void Region::trace_instant(const char* name, std::size_t bytes) {
+  if (sim_ == nullptr) return;
+  obs::TraceRecorder* tr = sim_->tracer();
+  if (tr == nullptr || !tr->enabled()) return;
+  const obs::TrackId track = tr->track(trace_process_, "region");
+  tr->instant(track, name, "mem",
+              {obs::arg("bytes", static_cast<std::uint64_t>(bytes)),
+               obs::arg("reserved",
+                        static_cast<std::uint64_t>(bytes_reserved_))});
+  tr->counter(track, "region.bytes_reserved",
+              static_cast<double>(bytes_reserved_));
 }
 
 void* Region::allocate(std::size_t bytes, std::size_t alignment) {
@@ -61,6 +80,7 @@ void Region::clear() {
   chunks_.push_back(std::move(kept));
   bytes_allocated_ = 0;
   allocation_count_ = 0;
+  trace_instant("region.clear", bytes_reserved_);
 }
 
 void Region::add_chunk(std::size_t at_least) {
@@ -71,6 +91,7 @@ void Region::add_chunk(std::size_t at_least) {
   chunks_.push_back(std::move(c));
   bytes_reserved_ += size;
   next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, max_chunk_bytes_);
+  trace_instant("region.grow", size);
 }
 
 }  // namespace prs::simdev

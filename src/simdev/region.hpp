@@ -12,9 +12,14 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+
+namespace prs::sim {
+class Simulator;  // for the optional trace hook below
+}
 
 namespace prs::simdev {
 
@@ -22,9 +27,13 @@ namespace prs::simdev {
 class Region {
  public:
   /// `initial_chunk_bytes` sizes the first chunk; later chunks double until
-  /// `max_chunk_bytes`.
+  /// `max_chunk_bytes`. When `sim` is given, chunk growth and clears are
+  /// traced (obs/trace.hpp) under (`trace_process`, "region") — only those
+  /// cold paths check the recorder, the bump fast path stays branch-free.
   explicit Region(std::size_t initial_chunk_bytes = 64 * 1024,
-                  std::size_t max_chunk_bytes = 8 * 1024 * 1024);
+                  std::size_t max_chunk_bytes = 8 * 1024 * 1024,
+                  sim::Simulator* sim = nullptr,
+                  std::string trace_process = "dev");
   Region(const Region&) = delete;
   Region& operator=(const Region&) = delete;
   Region(Region&&) = default;
@@ -68,7 +77,10 @@ class Region {
   };
 
   void add_chunk(std::size_t at_least);
+  void trace_instant(const char* name, std::size_t bytes);
 
+  sim::Simulator* sim_ = nullptr;
+  std::string trace_process_;
   std::vector<Chunk> chunks_;
   std::size_t next_chunk_bytes_;
   std::size_t max_chunk_bytes_;

@@ -1,5 +1,8 @@
 #include "simnet/fabric.hpp"
 
+#include <string>
+
+#include "obs/trace.hpp"
 #include "simtime/process.hpp"
 
 namespace prs::simnet {
@@ -59,8 +62,23 @@ sim::Process Communicator::deliver(int dst, int tag, Message msg) {
   auto& egress = *fabric_.egress_[static_cast<std::size_t>(rank_)];
   auto& ingress = *fabric_.ingress_[static_cast<std::size_t>(dst)];
   const double bytes = msg.bytes;
+  const double t0 = fabric_.simulator().now();
   co_await egress.transfer(bytes);
   co_await ingress.transfer(bytes);
+  obs::TraceRecorder* tr = fabric_.simulator().tracer();
+  if (tr != nullptr && tr->enabled()) {
+    // Span covers egress queueing + both serializations + fabric latency —
+    // the sender-side view of the message, on the sender's NIC track.
+    tr->complete(tr->track("node" + std::to_string(rank_), "nic"),
+                 "send.n" + std::to_string(dst), "net", t0,
+                 fabric_.simulator().now(),
+                 {obs::arg("bytes", bytes), obs::arg("dst", dst),
+                  obs::arg("tag", tag)});
+    tr->metrics().counter("net.bytes").add(bytes);
+    tr->metrics()
+        .histogram("net.msg_bytes", obs::geometric_buckets(64.0, 4.0, 16))
+        .observe(bytes);
+  }
   fabric_.comm(dst).inbox(rank_, tag).send(std::move(msg));
 }
 

@@ -128,6 +128,13 @@ class BandwidthLink {
   double busy_time() const { return busy_accum_; }
   double bytes_transferred() const { return bytes_accum_; }
 
+  /// Zeroes the utilization accumulators (between repeated runs); in-flight
+  /// transfers keep their completion times.
+  void reset_counters() {
+    busy_accum_ = 0.0;
+    bytes_accum_ = 0.0;
+  }
+
   struct TransferAwaiter {
     Simulator& sim;
     Time complete_at;

@@ -19,6 +19,10 @@
 
 #include "common/error.hpp"
 
+namespace prs::obs {
+class TraceRecorder;  // defined in obs/trace.hpp (layered above simtime)
+}
+
 namespace prs::sim {
 
 /// Virtual time in seconds.
@@ -64,6 +68,13 @@ class Simulator {
   /// True when no events are pending.
   bool idle() const { return queue_.empty(); }
 
+  /// Observability hook: the attached trace recorder, or nullptr (default).
+  /// Instrumented layers fetch this per operation, so tracing costs one
+  /// branch when disabled. The recorder must outlive its attachment; it is
+  /// not owned by the simulator.
+  obs::TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
   // -- internal: used by process/future machinery ---------------------------
 
   /// Takes ownership of a finished coroutine frame; destroyed after the
@@ -90,6 +101,7 @@ class Simulator {
   void maybe_rethrow();
 
   Time now_ = 0.0;
+  obs::TraceRecorder* tracer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;

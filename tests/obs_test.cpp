@@ -1,0 +1,299 @@
+// Tests for the observability subsystem (obs/): metrics registry semantics,
+// trace recording and track registration, ScopedSpan nesting, zero-event
+// behaviour when disabled, Chrome trace-event export structure, and the
+// determinism guarantee (two identical runs -> byte-identical exports).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/job_runner.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace prs::obs {
+namespace {
+
+// -- metrics ------------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  reg.counter("a").add(2.5);
+  reg.counter("a").increment();
+  EXPECT_DOUBLE_EQ(reg.counter("a").value(), 3.5);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (inclusive bound)
+  h.observe(50.0);   // bucket 2
+  h.observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1051.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  ASSERT_EQ(h.buckets().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 0u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(Metrics, HistogramBoundsFixedOnFirstUse) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {1.0, 2.0}).observe(1.5);
+  // Later callers get the existing histogram; new bounds are ignored.
+  Histogram& h = reg.histogram("lat", {99.0});
+  EXPECT_EQ(h.bounds().size(), 2u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Metrics, GeometricBuckets) {
+  auto b = geometric_buckets(2.0, 4.0, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+  EXPECT_DOUBLE_EQ(b[1], 8.0);
+  EXPECT_DOUBLE_EQ(b[2], 32.0);
+}
+
+TEST(Metrics, ClearEmptiesRegistry) {
+  MetricsRegistry reg;
+  reg.counter("x").increment();
+  reg.histogram("y", {1.0}).observe(0.5);
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+// -- trace recording ----------------------------------------------------------
+
+TEST(TraceRecorder, TracksDedupAndAssignDeterministicIds) {
+  sim::Simulator simu;
+  TraceRecorder rec(simu);
+  TrackId a = rec.track("node0", "runner");
+  TrackId b = rec.track("node0", "nic");
+  TrackId c = rec.track("node1", "runner");
+  EXPECT_EQ(rec.track("node0", "runner"), a);  // dedup
+  ASSERT_EQ(rec.tracks().size(), 3u);
+  // pids follow process first-seen order, tids thread order within a pid.
+  EXPECT_EQ(rec.tracks()[a].pid, rec.tracks()[b].pid);
+  EXPECT_NE(rec.tracks()[a].pid, rec.tracks()[c].pid);
+  EXPECT_EQ(rec.tracks()[a].tid, 0u);
+  EXPECT_EQ(rec.tracks()[b].tid, 1u);
+  EXPECT_EQ(rec.tracks()[c].tid, 0u);
+}
+
+TEST(TraceRecorder, DisabledRecorderAddsNoEvents) {
+  sim::Simulator simu;
+  TraceRecorder rec(simu);
+  rec.set_enabled(false);
+  TrackId t = rec.track("node0", "runner");
+  rec.complete(t, "span", "cat", 0.0, 1.0);
+  rec.instant(t, "marker", "cat");
+  rec.counter(t, "c", 1.0);
+  {
+    ScopedSpan s(&rec, t, "scoped", "cat");
+    EXPECT_FALSE(s.active());
+  }
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, NullRecorderScopedSpanIsSafe) {
+  ScopedSpan s(nullptr, 0, "x", "y");
+  EXPECT_FALSE(s.active());
+  s.add_arg(arg("k", 1.0));
+  s.close();  // no-op, must not crash
+}
+
+TEST(TraceRecorder, ScopedSpansNestAndCloseCorrectly) {
+  sim::Simulator simu;
+  TraceRecorder rec(simu);
+  TrackId t = rec.track("node0", "runner");
+  {
+    ScopedSpan outer(&rec, t, "outer", "phase");
+    simu.schedule_after(1.0, [] {});
+    simu.run();  // clock -> 1.0
+    {
+      ScopedSpan inner(&rec, t, "inner", "phase");
+      inner.add_arg(arg("k", std::uint64_t{7}));
+      simu.schedule_after(1.0, [] {});
+      simu.run();  // clock -> 2.0
+    }
+    simu.schedule_after(1.0, [] {});
+    simu.run();  // clock -> 3.0
+  }
+  // Inner closes first, so it is recorded first; both are complete events
+  // and the inner interval nests inside the outer one.
+  ASSERT_EQ(rec.events().size(), 2u);
+  const TraceEvent& inner = rec.events()[0];
+  const TraceEvent& outer = rec.events()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.phase, TraceEvent::Phase::kComplete);
+  EXPECT_EQ(outer.phase, TraceEvent::Phase::kComplete);
+  EXPECT_DOUBLE_EQ(outer.ts, 0.0);
+  EXPECT_DOUBLE_EQ(outer.dur, 3.0);
+  EXPECT_DOUBLE_EQ(inner.ts, 1.0);
+  EXPECT_DOUBLE_EQ(inner.dur, 1.0);
+  EXPECT_GE(inner.ts, outer.ts);
+  EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur);
+  ASSERT_EQ(inner.args.size(), 1u);
+  EXPECT_EQ(inner.args[0].key, "k");
+  EXPECT_EQ(inner.args[0].value, "7");
+}
+
+TEST(TraceRecorder, ExplicitCloseMakesDestructorANoop) {
+  sim::Simulator simu;
+  TraceRecorder rec(simu);
+  TrackId t = rec.track("node0", "runner");
+  {
+    ScopedSpan s(&rec, t, "once", "cat");
+    s.close();
+    EXPECT_FALSE(s.active());
+  }
+  EXPECT_EQ(rec.events().size(), 1u);
+}
+
+// -- toy job for end-to-end traces --------------------------------------------
+
+core::MapReduceSpec<int, long> toy_spec() {
+  core::MapReduceSpec<int, long> spec;
+  spec.name = "toy";
+  spec.cpu_map = [](const core::InputSlice& s, core::Emitter<int, long>& e) {
+    long counts[4] = {};
+    for (std::size_t i = s.begin; i < s.end; ++i) counts[i % 4]++;
+    for (int k = 0; k < 4; ++k) {
+      if (counts[k] > 0) e.emit(k, counts[k]);
+    }
+  };
+  spec.combine = [](const long& a, const long& b) { return a + b; };
+  spec.cpu_flops_per_item = 100.0;
+  spec.gpu_flops_per_item = 100.0;
+  spec.ai_cpu = 50.0;
+  spec.ai_gpu = 50.0;
+  spec.item_bytes = 8.0;
+  spec.pair_bytes = 16.0;
+  return spec;
+}
+
+/// Runs the toy job on a fresh 2-node cluster with a recorder attached and
+/// returns (chrome trace, metrics csv).
+std::pair<std::string, std::string> traced_run() {
+  sim::Simulator simu;
+  TraceRecorder rec(simu);
+  simu.set_tracer(&rec);
+  core::Cluster cluster(simu, 2, core::NodeConfig{});
+  auto spec = toy_spec();
+  auto res = core::run_job(cluster, spec, core::JobConfig{}, 5000);
+  EXPECT_EQ(res.output.at(0), 1250);
+  std::ostringstream metrics;
+  write_metrics_csv(rec.metrics(), metrics);
+  return {chrome_trace_string(rec), metrics.str()};
+}
+
+TEST(ChromeExport, TraceIsStructurallyValidJson) {
+  auto [json, metrics] = traced_run();
+  // Envelope.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  const std::size_t last = json.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json[last], '}');
+  // Balanced braces/brackets => no truncated event objects.
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(pat); pos != std::string::npos;
+       pos = hay.find(pat, pos + pat.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ChromeExport, SpansAreCompleteEventsWithDurations) {
+  auto [json, metrics] = traced_run();
+  // This exporter only emits self-contained "X" spans, so every span is a
+  // matched begin/end by construction — no dangling "B" without an "E".
+  const std::size_t x = count_occurrences(json, "\"ph\":\"X\"");
+  EXPECT_GT(x, 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"dur\":"), x);
+  // The instrumented layers all show up.
+  EXPECT_NE(json.find("\"name\":\"map\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sched.decision\""), std::string::npos);
+  EXPECT_NE(json.find("cpu.core0"), std::string::npos);
+  EXPECT_NE(json.find("gpu0.s"), std::string::npos);
+  EXPECT_NE(json.find("\"nic\""), std::string::npos);
+  // Both nodes registered as processes.
+  EXPECT_NE(json.find("\"node0\""), std::string::npos);
+  EXPECT_NE(json.find("\"node1\""), std::string::npos);
+}
+
+TEST(ChromeExport, IdenticalRunsExportByteIdenticalFiles) {
+  auto [json1, metrics1] = traced_run();
+  auto [json2, metrics2] = traced_run();
+  EXPECT_EQ(json1, json2);
+  EXPECT_EQ(metrics1, metrics2);
+  EXPECT_FALSE(metrics1.empty());
+}
+
+TEST(ChromeExport, DetachedTracerRecordsNothingDuringJob) {
+  sim::Simulator simu;
+  TraceRecorder rec(simu);  // never attached via set_tracer
+  core::Cluster cluster(simu, 1, core::NodeConfig{});
+  auto spec = toy_spec();
+  (void)core::run_job(cluster, spec, core::JobConfig{}, 1000);
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_TRUE(rec.metrics().empty());
+}
+
+TEST(MetricsExport, CsvAndJsonShapes) {
+  MetricsRegistry reg;
+  reg.counter("net.bytes").add(1024.0);
+  reg.histogram("lat", {1.0, 2.0}).observe(1.5);
+  std::ostringstream csv;
+  write_metrics_csv(reg, csv);
+  EXPECT_EQ(csv.str().rfind("kind,name,count,sum,min,max,mean", 0), 0u);
+  EXPECT_NE(csv.str().find("counter,net.bytes"), std::string::npos);
+  EXPECT_NE(csv.str().find("histogram,lat"), std::string::npos);
+  EXPECT_NE(csv.str().find("lat[le="), std::string::npos);
+  std::ostringstream js;
+  write_metrics_json(reg, js);
+  EXPECT_EQ(js.str().front(), '{');
+  EXPECT_NE(js.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"net.bytes\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prs::obs

@@ -51,6 +51,11 @@ usage: prs_run [options]
   --gpu-only          disable the CPU backend
   --cpu-only          disable the GPU backend
   --seed=S            RNG seed (default 42)
+  --repeat=N          run the job N times, resetting counters in between
+  --trace=FILE        write a Chrome trace-event JSON timeline (open in
+                      chrome://tracing or https://ui.perfetto.dev)
+  --metrics=FILE      write runtime metrics (JSON if FILE ends in .json,
+                      CSV otherwise)
   --list              list apps and testbeds
   --help              this text
 )";
@@ -121,6 +126,14 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
            out.cpu_fraction <= 1.0;
     } else if (key == "seed") {
       ok = parse_u64(val, out.seed);
+    } else if (key == "repeat") {
+      ok = parse_int(val, out.repeat) && out.repeat >= 1;
+    } else if (key == "trace") {
+      out.trace_path = val;
+      ok = !val.empty();
+    } else if (key == "metrics") {
+      out.metrics_path = val;
+      ok = !val.empty();
     } else {
       error = "unknown option: --" + key + " (see --help)";
       return false;

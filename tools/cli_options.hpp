@@ -31,6 +31,9 @@ struct Options {
   bool cpu_only = false;
   double cpu_fraction = -1.0;
   std::uint64_t seed = 42;
+  int repeat = 1;            // run the job N times (counters reset between)
+  std::string trace_path;    // --trace=FILE: Chrome trace-event JSON
+  std::string metrics_path;  // --metrics=FILE: counters/histograms dump
   bool show_help = false;
   bool show_list = false;
 

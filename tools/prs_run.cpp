@@ -22,9 +22,12 @@
 #include "apps/kmeans.hpp"
 #include "apps/wordcount.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/cluster.hpp"
 #include "data/dataset.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "tools/cli_options.hpp"
 
 namespace {
@@ -60,14 +63,34 @@ void print_stats(const core::JobStats& s, int nodes) {
   }
 }
 
-int run(const tools::Options& opt) {
-  sim::Simulator sim;
-  core::NodeConfig node = opt.node_config();
-  core::Cluster cluster(sim, opt.nodes, node);
-  core::JobConfig cfg = opt.job_config();
+/// Per-node utilization: busy time and link traffic from each FatNode's
+/// counters, plus utilization relative to the job's virtual span.
+void print_node_table(core::Cluster& cluster, double elapsed) {
+  std::printf("\n-- per-node utilization --\n");
+  TextTable t({"node", "cpu busy", "cpu util", "gpu busy", "gpu util",
+               "pcie traffic"});
+  auto pct = [](double busy, double denom) {
+    if (denom <= 0.0) return std::string("-");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", busy / denom * 100.0);
+    return std::string(buf);
+  };
+  for (int r = 0; r < cluster.size(); ++r) {
+    core::FatNode& n = cluster.node(r);
+    const double cpu_denom = elapsed * n.cpu().cores();
+    const double gpu_denom = elapsed * n.gpu_count();
+    t.add_row({"node" + std::to_string(r),
+               units::format_time(n.cpu_busy()), pct(n.cpu_busy(), cpu_denom),
+               units::format_time(n.gpu_busy()), pct(n.gpu_busy(), gpu_denom),
+               units::format_bytes(n.pcie_bytes())});
+  }
+  t.print();
+}
 
+core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
+                       const core::NodeConfig& node,
+                       const core::JobConfig& cfg, Rng& rng) {
   const auto& sched = cluster.scheduler(0);
-  Rng rng(opt.seed);
   core::JobStats stats;
 
   if (opt.app == "cmeans" || opt.app == "kmeans") {
@@ -165,11 +188,41 @@ int run(const tools::Options& opt) {
     std::printf("wordcount: %zu lines -> %zu distinct words\n", opt.points,
                 counts.size());
   } else {
-    std::fprintf(stderr, "unknown --app=%s (try --list)\n", opt.app.c_str());
-    return 2;
+    throw InvalidArgument("unknown --app=" + opt.app + " (try --list)");
+  }
+  return stats;
+}
+
+int run(const tools::Options& opt) {
+  sim::Simulator sim;
+  obs::TraceRecorder tracer(sim);
+  const bool observing = !opt.trace_path.empty() || !opt.metrics_path.empty();
+  if (observing) sim.set_tracer(&tracer);
+
+  core::NodeConfig node = opt.node_config();
+  core::Cluster cluster(sim, opt.nodes, node);
+  core::JobConfig cfg = opt.job_config();
+  Rng rng(opt.seed);
+
+  for (int rep = 0; rep < opt.repeat; ++rep) {
+    if (opt.repeat > 1) std::printf("\n=== run %d/%d ===\n", rep + 1, opt.repeat);
+    core::JobStats stats = run_app(opt, cluster, node, cfg, rng);
+    print_stats(stats, opt.nodes);
+    print_node_table(cluster, stats.elapsed);
+    // Fresh counters per run so each summary reports that run only.
+    if (rep + 1 < opt.repeat) cluster.reset_counters();
   }
 
-  print_stats(stats, opt.nodes);
+  if (!opt.trace_path.empty()) {
+    obs::export_chrome_trace(tracer, opt.trace_path);
+    std::printf("\ntrace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                opt.trace_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    obs::export_metrics(tracer.metrics(), opt.metrics_path);
+    std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+  }
   return 0;
 }
 
