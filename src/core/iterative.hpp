@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "core/job_runner.hpp"
 
@@ -107,6 +108,14 @@ IterativeResult<K, V> run_iterative(
 
   const double iter_t0 = sim.now();
   JobConfig iter_cfg = cfg;
+  // One policy instance across all iterations: stateful policies (e.g.
+  // AdaptiveFeedbackPolicy) refine their split from each iteration's
+  // observed busy times instead of starting over every round.
+  std::unique_ptr<SchedulePolicy> owned_policy;
+  if (iter_cfg.policy == nullptr) {
+    owned_policy = make_policy(cfg.scheduling);
+    iter_cfg.policy = owned_policy.get();
+  }
   for (int iter = 0; iter < max_iterations; ++iter) {
     iter_cfg.charge_job_startup = cfg.charge_job_startup && iter == 0;
 

@@ -12,6 +12,8 @@
 
 namespace prs::core {
 
+class SchedulePolicy;
+
 /// A contiguous range of input items [begin, end). The paper's map-task key
 /// object "contains the indices bound of input matrices"; this is that key.
 struct InputSlice {
@@ -95,6 +97,12 @@ struct JobConfig {
   /// Charge the one-time PRS job startup cost. The iterative driver sets
   /// this only on the first iteration.
   bool charge_job_startup = true;
+
+  /// Explicit level-2 scheduling policy (non-owning; must outlive the job).
+  /// When null the runner builds a stateless default from `scheduling` —
+  /// set this to share one stateful policy (e.g. AdaptiveFeedbackPolicy)
+  /// across jobs/iterations so it can learn.
+  SchedulePolicy* policy = nullptr;
 };
 
 /// Utilization and cost accounting for one job (or one iteration batch).

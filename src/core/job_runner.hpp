@@ -1,281 +1,73 @@
-// The PRS job runner: the paper's two-level scheduler plus the
-// map -> combine -> shuffle -> reduce -> gather pipeline (§III).
+// The PRS job runner: a thin orchestrator over the layered pipeline.
 //
-// Level 1 (master task scheduler): splits the input into
-// `partitions_per_node x nodes` partitions (paper default: two per fat
-// node) and assigns them round-robin to worker nodes.
+// Level 1 (master task scheduler): the Partitioner splits the input among
+// the fat nodes by capability and chops each share into
+// `partitions_per_node` partitions (paper default: two per fat node).
 //
-// Level 2 (per-node sub-task scheduler): for each partition either
-//   * static  — split CPU/GPU at the analytic fraction p (Eq (8)); the CPU
-//     daemon then makes multiplier x cores blocks, the GPU daemon makes one
-//     block per recommended stream (Eqs (9)-(11));
-//   * dynamic — fixed-size blocks in a channel, polled by per-core CPU
-//     workers and per-stream GPU pipelines whenever they go idle.
+// Level 2 (per-node sub-task scheduler): a pluggable SchedulePolicy —
+// static (Eq (8) + Eqs (9)-(11)), dynamic (channel-polled blocks), or
+// adaptive (analytic p refined from observed busy times) — decides the
+// CPU/GPU split, stream counts and block granularity.
 //
-// Everything runs as coroutine processes on the cluster's simulator; the
-// blocking call run_job() drives the simulator until the job completes and
-// returns results + utilization stats.
+// Each node then runs the map -> combine -> shuffle -> reduce -> gather
+// stage objects (core/pipeline.hpp) from the node_main coroutine below;
+// run_job() drives the simulator until the job completes and returns
+// results + utilization stats, feeding observed busy times back to the
+// policy so stateful policies can learn across jobs/iterations.
 //
 // NOTE (GCC 12): all co_await sites below follow the named-temporary rule
 // documented in simtime/process.hpp.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
-#include "core/calibration.hpp"
-#include "core/cluster.hpp"
-#include "core/job.hpp"
-#include "core/mapreduce_spec.hpp"
-#include "obs/trace.hpp"
-#include "simtime/channel.hpp"
-#include "simtime/future.hpp"
-#include "simtime/process.hpp"
+#include "core/partitioner.hpp"
+#include "core/pipeline.hpp"
+#include "core/schedule_policy.hpp"
 
 namespace prs::core {
 namespace detail {
 
-inline constexpr int kShuffleTag = 100;
-inline constexpr int kGatherTag = 200;
-inline constexpr int kDistributeTag = 300;
-
-/// Mutable state shared by the per-node processes of one job run.
-template <typename K, typename V>
-struct JobState {
-  const MapReduceSpec<K, V>* spec = nullptr;
-  JobConfig cfg;
-  std::size_t n_items = 0;
-  // Per-node scheduling decisions (inhomogeneous fat nodes get their own
-  // Eq (8) split and stream count, §III.B.3.a).
-  std::vector<double> cpu_fraction;  // p: share mapped on the node's CPU
-  std::vector<int> gpu_streams;
-  std::vector<std::vector<InputSlice>> node_partitions;
-
-  // Outputs / accounting (single-threaded simulator: no locking needed).
-  std::map<K, V> final_output;
-  int nodes_done = 0;
-  std::uint64_t map_tasks = 0;
-  std::uint64_t reduce_tasks = 0;
-  std::uint64_t intermediate_pairs = 0;
-
-  // Phase breakdown: max over nodes (the stage barrier is the slowest node).
-  double startup_time = 0.0;
-  double map_time = 0.0;
-  double shuffle_time = 0.0;
-  double reduce_time = 0.0;
-  double gather_time = 0.0;
-};
-
-/// Per-node transient state for the map stage.
-template <typename K, typename V>
-struct NodeMapBatch {
-  std::deque<Emitter<K, V>> emitters;           // one per map task
-  std::vector<sim::Future<sim::Unit>> futures;  // one per async device op
-  std::uint64_t gpu_pairs = 0;                  // pairs produced on the GPU
-  std::uint64_t gpu_items = 0;                  // input items mapped on GPU
-};
-
-/// Builds the timed CPU map task for `slice` (payload emits into a fresh
-/// emitter owned by `batch`).
-template <typename K, typename V>
-simdev::CpuTask make_cpu_map_task(const JobState<K, V>& st,
-                                  NodeMapBatch<K, V>& batch,
-                                  InputSlice slice) {
-  const auto& spec = *st.spec;
-  const auto items = static_cast<double>(slice.size());
-  simdev::CpuTask t;
-  t.name = spec.name + ":map:cpu";
-  t.workload.flops = items * spec.cpu_flops_per_item;
-  t.workload.mem_traffic = items * spec.cpu_traffic_per_item();
-  t.compute_efficiency = spec.efficiency.cpu_compute;
-  t.memory_efficiency = spec.efficiency.cpu_memory;
-
-  batch.emitters.emplace_back();
-  Emitter<K, V>* emitter = &batch.emitters.back();
-  const auto& fn = st.cfg.mode == ExecutionMode::kFunctional
-                       ? spec.cpu_map
-                       : spec.modeled_map;
-  if (fn) {
-    t.body = [fn, slice, emitter] { fn(slice, *emitter); };
-  }
-  return t;
-}
-
-/// Builds the timed GPU map kernel for `slice`.
-template <typename K, typename V>
-simdev::KernelDesc make_gpu_map_kernel(const JobState<K, V>& st,
-                                       NodeMapBatch<K, V>& batch,
-                                       InputSlice slice) {
-  const auto& spec = *st.spec;
-  const auto items = static_cast<double>(slice.size());
-  simdev::KernelDesc k;
-  k.name = spec.name + ":map:gpu";
-  k.workload.flops = items * spec.gpu_flops_per_item;
-  k.workload.mem_traffic = items * spec.gpu_traffic_per_item();
-  k.compute_efficiency = spec.efficiency.gpu_compute;
-  k.memory_efficiency = spec.efficiency.gpu_memory;
-
-  batch.emitters.emplace_back();
-  Emitter<K, V>* emitter = &batch.emitters.back();
-  NodeMapBatch<K, V>* b = &batch;
-  const auto& fn = st.cfg.mode == ExecutionMode::kFunctional
-                       ? spec.gpu_map_or_default()
-                       : spec.modeled_map;
-  if (fn) {
-    k.body = [fn, slice, emitter, b] {
-      fn(slice, *emitter);
-      b->gpu_pairs += emitter->size();
-    };
-  }
-  return k;
-}
-
-/// Static dispatch of one partition: CPU share into multiplier x cores
-/// blocks, GPU share into one block per stream. Pure enqueue, no awaiting.
-template <typename K, typename V>
-void dispatch_static(JobState<K, V>& st, FatNode& node,
-                     NodeMapBatch<K, V>& batch, const InputSlice& partition) {
-  const auto& spec = *st.spec;
-  const auto rank = static_cast<std::size_t>(node.id());
-  const int streams = st.gpu_streams[rank];
-  auto [cpu_part, gpu_part] =
-      partition.split_at_fraction(st.cpu_fraction[rank]);
-
-  if (!cpu_part.empty()) {
-    const int n_blocks = roofline::AnalyticScheduler::cpu_block_count(
-        node.cpu().cores(), st.cfg.cpu_block_multiplier);
-    for (const InputSlice& b :
-         cpu_part.blocks(static_cast<std::size_t>(n_blocks))) {
-      simdev::CpuTask t = make_cpu_map_task(st, batch, b);
-      batch.futures.push_back(node.cpu().submit(std::move(t)));
-      ++st.map_tasks;
-    }
-  }
-  if (!gpu_part.empty() && node.gpu_count() > 0) {
-    // One daemon per GPU card (paper §III.C.1): blocks round-robin over
-    // cards, then over each card's streams.
-    const auto cards = static_cast<std::size_t>(node.gpu_count());
-    const auto n_blocks = static_cast<std::size_t>(streams) * cards;
-    std::size_t i = 0;
-    for (const InputSlice& b : gpu_part.blocks(n_blocks)) {
-      auto& gpu = node.gpu(static_cast<int>(i % cards));
-      simdev::Stream& stream =
-          gpu.stream(static_cast<int>((i / cards) %
-                                      static_cast<std::size_t>(streams)));
-      ++i;
-      if (!spec.gpu_data_cached) {
-        batch.futures.push_back(stream.memcpy_h2d(
-            static_cast<double>(b.size()) * spec.item_bytes));
-      }
-      simdev::KernelDesc k = make_gpu_map_kernel(st, batch, b);
-      batch.futures.push_back(stream.launch(std::move(k)));
-      batch.gpu_items += b.size();
-      ++st.map_tasks;
-    }
-  }
-}
-
-/// Dynamic-mode CPU worker: polls blocks whenever its core frees up.
-template <typename K, typename V>
-sim::Process cpu_block_worker(sim::Simulator& sim, JobState<K, V>& st,
-                              FatNode& node, NodeMapBatch<K, V>& batch,
-                              sim::Channel<InputSlice>& blocks,
-                              std::shared_ptr<int> live,
-                              sim::Promise<sim::Unit> all_done) {
-  (void)sim;
-  for (;;) {
-    auto b = co_await blocks.recv();
-    if (!b) break;
-    simdev::CpuTask t = make_cpu_map_task(st, batch, *b);
-    ++st.map_tasks;
-    auto fut = node.cpu().submit(std::move(t));
-    co_await fut;
-  }
-  if (--*live == 0) all_done.set_value(sim::Unit{});
-}
-
-/// Dynamic-mode GPU pipeline: one per (card, stream), polls when idle.
-template <typename K, typename V>
-sim::Process gpu_block_worker(sim::Simulator& sim, JobState<K, V>& st,
-                              FatNode& node, NodeMapBatch<K, V>& batch,
-                              sim::Channel<InputSlice>& blocks, int card,
-                              int stream_index, std::shared_ptr<int> live,
-                              sim::Promise<sim::Unit> all_done) {
-  (void)sim;
-  auto& gpu = node.gpu(card);
-  simdev::Stream& stream = gpu.stream(stream_index);
-  const auto& spec = *st.spec;
-  for (;;) {
-    auto b = co_await blocks.recv();
-    if (!b) break;
-    if (!spec.gpu_data_cached) {
-      auto copy = stream.memcpy_h2d(static_cast<double>(b->size()) *
-                                    spec.item_bytes);
-      co_await copy;
-    }
-    simdev::KernelDesc k = make_gpu_map_kernel(st, batch, *b);
-    batch.gpu_items += b->size();
-    ++st.map_tasks;
-    auto fut = stream.launch(std::move(k));
-    co_await fut;
-  }
-  if (--*live == 0) all_done.set_value(sim::Unit{});
-}
-
-/// Merges emitted pairs into an ordered map with the spec's combiner
-/// (the node-local combine step; also used for the reduce merge).
-template <typename K, typename V>
-void combine_into(const MapReduceSpec<K, V>& spec, std::map<K, V>& acc,
-                  std::vector<std::pair<K, V>>& pairs) {
-  for (auto& [k, v] : pairs) {
-    auto it = acc.find(k);
-    if (it == acc.end()) {
-      acc.emplace(std::move(k), std::move(v));
-    } else {
-      it->second = spec.combine(it->second, v);
-    }
-  }
-}
-
-/// The per-node worker process: §III.A.2's map stage and reduce stage.
+/// The per-node worker process: §III.A.2's pipeline, one stage at a time.
 template <typename K, typename V>
 sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
-                       int rank) {
+                       SchedulePolicy* policy, int rank) {
   auto& sim = cluster.simulator();
-  auto& node = cluster.node(rank);
   auto& comm = cluster.fabric().comm(rank);
   const auto& spec = *st->spec;
   const JobConfig& cfg = st->cfg;
   const int nodes = cluster.size();
+  const auto rk = static_cast<std::size_t>(rank);
 
   // Per-node phase spans + scheduler-decision markers go on the node's
   // "runner" track; tr == nullptr (the default) keeps every record site to
   // one branch.
   obs::TraceRecorder* tr = sim.tracer();
   if (tr != nullptr && !tr->enabled()) tr = nullptr;
-  obs::TrackId runner_track = 0;
+  StageContext<K, V> ctx;
+  ctx.cluster = &cluster;
+  ctx.st = st.get();
+  ctx.policy = policy;
+  ctx.rank = rank;
   obs::ScopedSpan job_span;
   if (tr != nullptr) {
-    const auto rk = static_cast<std::size_t>(rank);
-    runner_track = tr->track("node" + std::to_string(rank), "runner");
+    ctx.tr = tr;
+    ctx.runner_track = tr->track("node" + std::to_string(rank), "runner");
     // The level-2 decision this node runs with: Eq (8)'s CPU share p,
     // Eqs (9)-(11)'s stream count, and the block granularities.
     tr->instant(
-        runner_track, "sched.decision", "sched",
+        ctx.runner_track, "sched.decision", "sched",
         {obs::arg("p", st->cpu_fraction[rk]),
          obs::arg("gpu_streams", st->gpu_streams[rk]),
          obs::arg("partitions",
                   static_cast<std::uint64_t>(st->node_partitions[rk].size())),
          obs::arg("cpu_blocks",
                   roofline::AnalyticScheduler::cpu_block_count(
-                      node.cpu().cores(), cfg.cpu_block_multiplier)),
-         obs::arg("mode", cfg.scheduling == SchedulingMode::kStatic
-                              ? "static"
-                              : "dynamic")});
-    job_span = obs::ScopedSpan(tr, runner_track, spec.name + ":job", "job");
+                      ctx.node().cpu().cores(), cfg.cpu_block_multiplier)),
+         obs::arg("mode", policy->name())});
+    job_span =
+        obs::ScopedSpan(tr, ctx.runner_track, spec.name + ":job", "job");
   }
 
   const double phase_t0 = sim.now();
@@ -287,9 +79,7 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
 
   // -- optional input distribution over the fabric ---------------------------
   std::size_t node_items = 0;
-  for (const auto& p : st->node_partitions[static_cast<std::size_t>(rank)]) {
-    node_items += p.size();
-  }
+  for (const auto& p : st->node_partitions[rk]) node_items += p.size();
   if (cfg.time_input_distribution && nodes > 1) {
     if (rank == 0) {
       for (int dst = 1; dst < nodes; ++dst) {
@@ -310,236 +100,64 @@ sim::Process node_main(Cluster& cluster, std::shared_ptr<JobState<K, V>> st,
 
   st->startup_time = std::max(st->startup_time, sim.now() - phase_t0);
   if (tr != nullptr && sim.now() > phase_t0) {
-    tr->complete(runner_track, "startup", "phase", phase_t0, sim.now());
+    tr->complete(ctx.runner_track, "startup", "phase", phase_t0, sim.now());
   }
   const double map_t0 = sim.now();
 
   // -- map stage --------------------------------------------------------------
-  NodeMapBatch<K, V> batch;
-  for (const InputSlice& partition :
-       st->node_partitions[static_cast<std::size_t>(rank)]) {
+  MapStage<K, V> map(ctx);
+  for (const InputSlice& partition : st->node_partitions[rk]) {
     if (partition.empty()) continue;
     // Sub-task scheduler round for this partition.
     co_await sim::delay(sim, calib::kPrsIterationOverhead);
-
-    if (cfg.scheduling == SchedulingMode::kStatic) {
+    if (policy->dispatch() == SchedulingMode::kStatic) {
       // Task-dispatch overhead is serial on the daemon thread; charge it
       // up front for the blocks this partition will produce.
-      const auto rk = static_cast<std::size_t>(rank);
-      const double est_tasks =
-          (st->cpu_fraction[rk] > 0.0
-               ? roofline::AnalyticScheduler::cpu_block_count(
-                     node.cpu().cores(), cfg.cpu_block_multiplier)
-               : 0) +
-          (st->cpu_fraction[rk] < 1.0
-               ? st->gpu_streams[rk] * node.gpu_count()
-               : 0);
-      co_await sim::delay(sim, est_tasks * calib::kPrsTaskDispatch);
-      dispatch_static(*st, node, batch, partition);
+      co_await sim::delay(sim, map.static_dispatch_cost());
+      map.dispatch_static(partition);
     } else {
-      // Dynamic: fixed-size blocks polled by idle daemons.
-      std::size_t block_items = cfg.dynamic_block_items;
-      if (block_items == 0) {
-        block_items = std::max<std::size_t>(
-            1, partition.size() /
-                   (4 * (static_cast<std::size_t>(node.cpu().cores()) + 1)));
-      }
-      auto blocks_list = partition.blocks_of(block_items);
-      co_await sim::delay(
-          sim, static_cast<double>(blocks_list.size()) *
-                   calib::kPrsTaskDispatch);
-
-      sim::Channel<InputSlice> blocks(sim);
-      const int cpu_workers = cfg.use_cpu ? node.cpu().cores() : 0;
-      const int gpu_cards =
-          (cfg.use_gpu && node.gpu_count() > 0) ? node.gpu_count() : 0;
-      const int gpu_workers =
-          gpu_cards * st->gpu_streams[static_cast<std::size_t>(rank)];
-      PRS_REQUIRE(cpu_workers + gpu_workers > 0,
-                  "dynamic scheduling needs at least one device");
-      auto live = std::make_shared<int>(cpu_workers + gpu_workers);
-      sim::Promise<sim::Unit> all_done(sim);
-      for (int w = 0; w < cpu_workers; ++w) {
-        sim.spawn(cpu_block_worker(sim, *st, node, batch, blocks, live,
-                                   all_done));
-      }
-      for (int card = 0; card < gpu_cards; ++card) {
-        for (int w = 0; w < st->gpu_streams[static_cast<std::size_t>(rank)];
-             ++w) {
-          sim.spawn(gpu_block_worker(sim, *st, node, batch, blocks, card, w,
-                                     live, all_done));
-        }
-      }
-      for (const InputSlice& b : blocks_list) blocks.send(b);
-      blocks.close();
-      auto done_fut = all_done.get_future();
-      co_await done_fut;
+      // Dynamic: fixed-size blocks polled by idle daemons; dispatch cost
+      // is charged per block as the dispatcher hands them out.
+      auto drained = map.start_dynamic(partition);
+      co_await drained;
     }
   }
-  // Barrier over this node's asynchronous map work (static mode).
-  auto maps_done = sim::when_all(sim, batch.futures);
+  auto maps_done = map.barrier();
   co_await maps_done;
+  auto d2h = map.copy_back();
+  co_await d2h;
+  co_await sim::delay(sim, map.host_merge_cost(node_items));
+  map.finish(map_t0, node_items);
 
-  // Intermediate data in GPU memory is copied back to CPU memory after all
-  // local map tasks finish (§III.A.2): emitted pairs plus per-item
-  // intermediate rows (spec.gpu_item_d2h_bytes). With several cards the
-  // transfers run in parallel over each card's own PCI-E link.
-  const double d2h_bytes =
-      static_cast<double>(batch.gpu_pairs) * spec.pair_bytes +
-      static_cast<double>(batch.gpu_items) * spec.gpu_item_d2h_bytes;
-  if (d2h_bytes > 0.0 && node.gpu_count() > 0) {
-    std::vector<sim::Future<sim::Unit>> copies;
-    const double per_card =
-        d2h_bytes / static_cast<double>(node.gpu_count());
-    for (int g = 0; g < node.gpu_count(); ++g) {
-      copies.push_back(node.gpu(g).default_stream().memcpy_d2h(per_card));
-    }
-    auto d2h = sim::when_all(sim, copies);
-    co_await d2h;
-  }
-
-  // Host-side key/value handling cost (emit buffers, local sort/merge).
-  co_await sim::delay(sim, static_cast<double>(node_items) *
-                               calib::kPrsPerItemOverhead);
-
-  st->map_time = std::max(st->map_time, sim.now() - map_t0);
-  if (tr != nullptr) {
-    tr->complete(runner_track, "map", "phase", map_t0, sim.now(),
-                 {obs::arg("items", static_cast<std::uint64_t>(node_items)),
-                  obs::arg("gpu_items", batch.gpu_items)});
-  }
-
-  // -- local combine (the paper's optional combiner(), Table 1) ---------------
-  // -- then shuffle: pairs with the same key land on hash(key) % nodes --------
-  std::vector<std::vector<std::pair<K, V>>> buckets(
-      static_cast<std::size_t>(nodes));
-  if (spec.local_combine) {
-    std::map<K, V> combined;
-    for (auto& e : batch.emitters) {
-      st->intermediate_pairs += e.size();
-      combine_into(spec, combined, e.pairs());
-    }
-    for (auto& [k, v] : combined) {
-      const auto dst = std::hash<K>{}(k) % static_cast<std::size_t>(nodes);
-      buckets[dst].emplace_back(k, std::move(v));
-    }
-  } else {
-    // No combiner: every raw emitted pair goes on the wire; the reduce
-    // stage does all the merging.
-    for (auto& e : batch.emitters) {
-      st->intermediate_pairs += e.size();
-      for (auto& [k, v] : e.pairs()) {
-        const auto dst = std::hash<K>{}(k) % static_cast<std::size_t>(nodes);
-        buckets[dst].emplace_back(std::move(k), std::move(v));
-      }
-    }
-  }
-  std::vector<simnet::Message> outbound;
-  outbound.reserve(static_cast<std::size_t>(nodes));
-  for (int r = 0; r < nodes; ++r) {
-    auto payload = std::make_shared<std::vector<std::pair<K, V>>>(
-        std::move(buckets[static_cast<std::size_t>(r)]));
-    const double bytes =
-        static_cast<double>(payload->size()) * spec.pair_bytes;
-    outbound.emplace_back(bytes, std::move(payload));
-  }
-  if (tr != nullptr) {
-    auto& h = tr->metrics().histogram("shuffle.msg_bytes",
-                                      obs::geometric_buckets(64.0, 4.0, 16));
-    for (const auto& m : outbound) h.observe(m.bytes);
-  }
+  // -- local combine + shuffle ------------------------------------------------
+  ShuffleStage<K, V> shuffle(ctx);
+  auto outbound = shuffle.prepare(map.batch());
   const double shuffle_t0 = sim.now();
   auto a2a = comm.all_to_all(std::move(outbound), kShuffleTag);
   std::vector<simnet::Message> inbound = co_await a2a;
-  st->shuffle_time = std::max(st->shuffle_time, sim.now() - shuffle_t0);
-  if (tr != nullptr) {
-    tr->complete(runner_track, "shuffle", "phase", shuffle_t0, sim.now());
-  }
+  shuffle.finish(shuffle_t0);
+
+  // -- reduce stage -----------------------------------------------------------
   const double reduce_t0 = sim.now();
-
-  // -- reduce stage -------------------------------------------------------------
-  using Payload = std::shared_ptr<std::vector<std::pair<K, V>>>;
-  std::map<K, V> reduced;
+  ReduceStage<K, V> reduce(ctx);
   std::size_t reduce_pairs = 0;
-  for (auto& m : inbound) {
-    if (!m.has_payload()) continue;
-    auto& pairs = *m.template payload_as<Payload>();
-    reduce_pairs += pairs.size();
-    combine_into(spec, reduced, pairs);
-  }
-  // Charge the reduce tasks on the devices, split like the map stage.
-  if (reduce_pairs > 0) {
-    std::vector<sim::Future<sim::Unit>> reduce_futs;
-    const auto cpu_pairs =
-        static_cast<double>(reduce_pairs) *
-        st->cpu_fraction[static_cast<std::size_t>(rank)];
-    const double gpu_pairs = static_cast<double>(reduce_pairs) - cpu_pairs;
-    if (cpu_pairs > 0.0) {
-      simdev::CpuTask t;
-      t.name = spec.name + ":reduce:cpu";
-      t.workload.flops = cpu_pairs * spec.reduce_flops_per_pair;
-      t.workload.mem_traffic = cpu_pairs * spec.pair_bytes;
-      t.compute_efficiency = spec.efficiency.cpu_compute;
-      t.memory_efficiency = spec.efficiency.cpu_memory;
-      reduce_futs.push_back(node.cpu().submit(std::move(t)));
-      ++st->reduce_tasks;
-    }
-    if (gpu_pairs > 0.0 && node.gpu_count() > 0) {
-      auto& stream = node.gpu().default_stream();
-      // Reduce input starts in CPU memory after the shuffle: stage it.
-      reduce_futs.push_back(
-          stream.memcpy_h2d(gpu_pairs * spec.pair_bytes));
-      simdev::KernelDesc k;
-      k.name = spec.name + ":reduce:gpu";
-      k.workload.flops = gpu_pairs * spec.reduce_flops_per_pair;
-      k.workload.mem_traffic = gpu_pairs * spec.pair_bytes;
-      k.compute_efficiency = spec.efficiency.gpu_compute;
-      k.memory_efficiency = spec.efficiency.gpu_memory;
-      reduce_futs.push_back(stream.launch(std::move(k)));
-      reduce_futs.push_back(
-          stream.memcpy_d2h(gpu_pairs * spec.pair_bytes));
-      ++st->reduce_tasks;
-    }
-    auto reduces_done = sim::when_all(sim, reduce_futs);
-    co_await reduces_done;
-  }
-  st->reduce_time = std::max(st->reduce_time, sim.now() - reduce_t0);
-  if (tr != nullptr) {
-    tr->complete(runner_track, "reduce", "phase", reduce_t0, sim.now(),
-                 {obs::arg("pairs",
-                           static_cast<std::uint64_t>(reduce_pairs))});
-  }
+  std::map<K, V> reduced = reduce.merge(inbound, reduce_pairs);
+  auto reduce_futs = reduce.submit_device_tasks(reduce_pairs);
+  auto reduces_done = sim::when_all(sim, reduce_futs);
+  co_await reduces_done;
+  reduce.finish(reduce_t0, reduce_pairs);
+
+  // -- gather final values on the master --------------------------------------
   const double gather_t0 = sim.now();
-
-  // -- gather final values on the master ----------------------------------------
-  {
-    auto payload = std::make_shared<std::map<K, V>>(std::move(reduced));
-    const double bytes =
-        static_cast<double>(payload->size()) * spec.pair_bytes;
-    simnet::Message mine{bytes, std::move(payload)};
-    auto g = comm.gather(0, std::move(mine), kGatherTag);
-    std::vector<simnet::Message> gathered = co_await g;
-    if (rank == 0) {
-      using MapPayload = std::shared_ptr<std::map<K, V>>;
-      for (auto& m : gathered) {
-        if (!m.has_payload()) continue;
-        for (auto& [k, v] : *m.template payload_as<MapPayload>()) {
-          // Shuffle guarantees disjoint keys across nodes.
-          st->final_output.emplace(
-              k, spec.finalize ? spec.finalize(k, std::move(v))
-                               : std::move(v));
-        }
-      }
-    }
-  }
-
-  st->gather_time = std::max(st->gather_time, sim.now() - gather_t0);
-  if (tr != nullptr) {
-    tr->complete(runner_track, "gather", "phase", gather_t0, sim.now());
-  }
+  GatherStage<K, V> gather(ctx);
+  simnet::Message mine = gather.pack(std::move(reduced));
+  auto g = comm.gather(0, std::move(mine), kGatherTag);
+  std::vector<simnet::Message> gathered = co_await g;
+  if (rank == 0) gather.unpack_on_master(gathered);
+  gather.finish(gather_t0);
 
   // Region-based memory: all of this job's intermediates go at once.
-  node.region().clear();
+  ctx.node().region().clear();
   ++st->nodes_done;
 }
 
@@ -555,128 +173,69 @@ JobResult<K, V> run_job(Cluster& cluster, const MapReduceSpec<K, V>& spec,
   PRS_REQUIRE(n_items > 0, "job needs a non-empty input");
   auto& sim = cluster.simulator();
 
+  // The level-2 policy: an explicit (possibly stateful) instance from the
+  // config, or a stateless default built from cfg.scheduling.
+  std::unique_ptr<SchedulePolicy> default_policy;
+  SchedulePolicy* policy = cfg.policy;
+  if (policy == nullptr) {
+    default_policy = make_policy(cfg.scheduling);
+    policy = default_policy.get();
+  }
+
   auto st = std::make_shared<detail::JobState<K, V>>();
   st->spec = &spec;
   st->cfg = cfg;
   st->n_items = n_items;
 
-  // Per-node scheduling decisions (Eq (8) per node's hardware).
+  // Per-node level-2 decisions (Eq (8) or learned p, per node's hardware).
   const int nodes = cluster.size();
+  const JobShape shape = detail::job_shape(spec);
   st->cpu_fraction.resize(static_cast<std::size_t>(nodes), 0.0);
   st->gpu_streams.resize(static_cast<std::size_t>(nodes), 1);
   std::vector<double> capability(static_cast<std::size_t>(nodes), 0.0);
   for (int r = 0; r < nodes; ++r) {
     const auto rk = static_cast<std::size_t>(r);
-    const auto& sched = cluster.scheduler(r);
-    const int gpus = cluster.node(r).gpu_count();
-    const auto split = sched.workload_split(
-        spec.ai_cpu, spec.ai_gpu, !spec.gpu_data_cached, std::max(1, gpus));
-    // CPU fraction p: override > analytic model > single-backend cases.
-    if (!cfg.use_cpu) {
-      st->cpu_fraction[rk] = 0.0;
-    } else if (!cfg.use_gpu || gpus == 0) {
-      st->cpu_fraction[rk] = 1.0;
-    } else if (cfg.cpu_fraction_override >= 0.0) {
-      PRS_REQUIRE(cfg.cpu_fraction_override <= 1.0,
-                  "cpu fraction override must be in [0, 1]");
-      st->cpu_fraction[rk] = cfg.cpu_fraction_override;
-    } else {
-      st->cpu_fraction[rk] = split.cpu_fraction;
-    }
-    // Node capability for the master's input split among inhomogeneous fat
-    // nodes (§III.B.3.a): effective rate of the backends the job may use.
-    const double fc = cfg.use_cpu ? split.cpu_rate : 0.0;
-    const double fg =
-        (cfg.use_gpu && gpus > 0) ? split.gpu_rate : 0.0;
-    capability[rk] = fc + fg;
+    const NodeDecision d = policy->node_decision(cluster, shape, cfg, r);
+    st->cpu_fraction[rk] = d.cpu_fraction;
+    capability[rk] = d.capability;
   }
 
   // Level-1 master scheduling: capability-weighted shares, each chopped
   // into partitions_per_node partitions (all equal in the homogeneous
   // case, reproducing the paper's round-robin).
-  st->node_partitions.resize(static_cast<std::size_t>(nodes));
-  double total_capability = 0.0;
-  for (double c : capability) total_capability += c;
-  PRS_CHECK(total_capability > 0.0, "no usable backend on any node");
-  std::size_t cursor = 0;
-  for (int r = 0; r < nodes; ++r) {
-    const auto rk = static_cast<std::size_t>(r);
-    const std::size_t share =
-        r + 1 == nodes
-            ? n_items - cursor
-            : static_cast<std::size_t>(static_cast<double>(n_items) *
-                                       capability[rk] / total_capability);
-    InputSlice node_share{cursor, cursor + share};
-    cursor += share;
-    for (const InputSlice& p : node_share.blocks(
-             static_cast<std::size_t>(cfg.partitions_per_node))) {
-      st->node_partitions[rk].push_back(p);
-    }
-  }
-  PRS_CHECK(cursor == n_items, "input not fully assigned");
+  st->node_partitions =
+      Partitioner::partition(n_items, capability, cfg.partitions_per_node);
 
   // GPU granularity: streams per Eqs (9)-(11), per node.
   for (int r = 0; r < nodes; ++r) {
     const auto rk = static_cast<std::size_t>(r);
-    if (!cfg.use_gpu || cluster.node(r).gpu_count() == 0) continue;
     std::size_t node_items = 0;
     for (const auto& p : st->node_partitions[rk]) node_items += p.size();
-    const double partition_bytes =
-        static_cast<double>(node_items) /
-        static_cast<double>(cfg.partitions_per_node) *
-        (1.0 - st->cpu_fraction[rk]) * spec.item_bytes;
-    if (partition_bytes > 0.0) {
-      roofline::AiOfBlock ai = [&spec](double b) {
-        return spec.ai_of_block_or_default(b);
-      };
-      st->gpu_streams[rk] = cluster.scheduler(r).recommended_streams(
-          partition_bytes, ai, cfg.stream_overlap_threshold);
-    }
+    st->gpu_streams[rk] = policy->gpu_streams(cluster, shape, cfg, r,
+                                              node_items,
+                                              st->cpu_fraction[rk]);
   }
 
   // Snapshot counters, run, and diff.
   const double t0 = sim.now();
-  const double cpu_busy0 = cluster.total_cpu_busy();
-  const double gpu_busy0 = cluster.total_gpu_busy();
-  const double cpu_flops0 = cluster.total_cpu_flops();
-  const double gpu_flops0 = cluster.total_gpu_flops();
-  const double pcie0 = cluster.total_pcie_bytes();
-  const double net0 = cluster.fabric().bytes_sent();
-
+  const detail::ClusterCounters counters0 = detail::snapshot_counters(cluster);
   for (int r = 0; r < nodes; ++r) {
-    sim.spawn(detail::node_main<K, V>(cluster, st, r));
+    sim.spawn(detail::node_main<K, V>(cluster, st, policy, r));
   }
   sim.run();
   PRS_CHECK(st->nodes_done == nodes, "job finished with missing nodes");
 
   JobResult<K, V> result;
   result.output = std::move(st->final_output);
-  result.stats.elapsed = sim.now() - t0;
-  result.stats.cpu_busy = cluster.total_cpu_busy() - cpu_busy0;
-  result.stats.gpu_busy = cluster.total_gpu_busy() - gpu_busy0;
-  result.stats.cpu_flops = cluster.total_cpu_flops() - cpu_flops0;
-  result.stats.gpu_flops = cluster.total_gpu_flops() - gpu_flops0;
-  result.stats.pcie_bytes = cluster.total_pcie_bytes() - pcie0;
-  result.stats.network_bytes = cluster.fabric().bytes_sent() - net0;
-  result.stats.map_tasks = st->map_tasks;
-  result.stats.reduce_tasks = st->reduce_tasks;
-  result.stats.intermediate_pairs = st->intermediate_pairs;
-  result.stats.startup_time = st->startup_time;
-  result.stats.map_time = st->map_time;
-  result.stats.shuffle_time = st->shuffle_time;
-  result.stats.reduce_time = st->reduce_time;
-  result.stats.gather_time = st->gather_time;
+  result.stats = detail::collect_stats(cluster, counters0, *st,
+                                       sim.now() - t0);
 
-  if (obs::TraceRecorder* tr = sim.tracer();
-      tr != nullptr && tr->enabled()) {
-    auto& m = tr->metrics();
-    m.counter("job.runs").increment();
-    m.counter("job.map_tasks").add(static_cast<double>(st->map_tasks));
-    m.counter("job.reduce_tasks").add(static_cast<double>(st->reduce_tasks));
-    m.counter("job.intermediate_pairs")
-        .add(static_cast<double>(st->intermediate_pairs));
-    m.counter("job.virtual_seconds").add(result.stats.elapsed);
-  }
+  // Feed observed per-node busy times back so stateful policies (adaptive)
+  // can refine their split for the next job/iteration.
+  policy->observe(detail::collect_feedback(cluster, counters0,
+                                           st->cpu_fraction,
+                                           result.stats.elapsed));
+  detail::record_job_metrics(sim, *st, result.stats.elapsed);
   return result;
 }
 

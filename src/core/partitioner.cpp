@@ -1,0 +1,50 @@
+#include "core/partitioner.hpp"
+
+#include "common/error.hpp"
+
+namespace prs::core {
+
+std::vector<InputSlice> Partitioner::node_shares(
+    std::size_t n_items, const std::vector<double>& capability) {
+  PRS_REQUIRE(!capability.empty(), "need at least one node");
+  const auto nodes = capability.size();
+  double total_capability = 0.0;
+  for (double c : capability) {
+    PRS_REQUIRE(c >= 0.0, "node capability must be non-negative");
+    total_capability += c;
+  }
+  PRS_CHECK(total_capability > 0.0, "no usable backend on any node");
+
+  std::vector<InputSlice> shares;
+  shares.reserve(nodes);
+  std::size_t cursor = 0;
+  for (std::size_t r = 0; r < nodes; ++r) {
+    const std::size_t share =
+        r + 1 == nodes
+            ? n_items - cursor
+            : static_cast<std::size_t>(static_cast<double>(n_items) *
+                                       capability[r] / total_capability);
+    shares.push_back(InputSlice{cursor, cursor + share});
+    cursor += share;
+  }
+  PRS_CHECK(cursor == n_items, "input not fully assigned");
+  return shares;
+}
+
+std::vector<std::vector<InputSlice>> Partitioner::partition(
+    std::size_t n_items, const std::vector<double>& capability,
+    int partitions_per_node) {
+  PRS_REQUIRE(partitions_per_node >= 1,
+              "need at least one partition per node");
+  const auto shares = node_shares(n_items, capability);
+  std::vector<std::vector<InputSlice>> partitions(shares.size());
+  for (std::size_t r = 0; r < shares.size(); ++r) {
+    for (const InputSlice& p :
+         shares[r].blocks(static_cast<std::size_t>(partitions_per_node))) {
+      partitions[r].push_back(p);
+    }
+  }
+  return partitions;
+}
+
+}  // namespace prs::core

@@ -1,0 +1,38 @@
+// Level-1 master task scheduler (paper §III.B.1, §III.B.3.a).
+//
+// The master splits the job input among the fat nodes proportionally to
+// their capability (the Eq (8)-derived effective rate Fc + Fg of the
+// backends the job may use), then chops each node share into
+// `partitions_per_node` partitions (paper default: two per fat node,
+// assigned round-robin by the sub-task scheduler). Homogeneous clusters
+// reproduce the paper's equal round-robin split; inhomogeneous clusters get
+// the §III.B.3.a capability-weighted split.
+//
+// Pure integer/double arithmetic on slice bounds — no simulator types — so
+// the level-1 decision is unit-testable in isolation (scheduler_policy_test).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace prs::core {
+
+class Partitioner {
+ public:
+  /// Capability-weighted node shares over [0, n_items): node r receives
+  /// floor(n_items * capability[r] / sum(capability)) items; the rounding
+  /// remainder goes to the last node so every item is assigned in one pass.
+  /// Throws when no node has positive capability.
+  static std::vector<InputSlice> node_shares(
+      std::size_t n_items, const std::vector<double>& capability);
+
+  /// The full level-1 decision: each node share chopped into at most
+  /// `partitions_per_node` non-empty partitions.
+  static std::vector<std::vector<InputSlice>> partition(
+      std::size_t n_items, const std::vector<double>& capability,
+      int partitions_per_node);
+};
+
+}  // namespace prs::core

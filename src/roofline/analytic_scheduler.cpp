@@ -142,4 +142,16 @@ int AnalyticScheduler::cpu_block_count(int cores, int multiplier) {
   return cores * multiplier;
 }
 
+double AnalyticScheduler::rebalanced_fraction(double cpu_fraction,
+                                              double cpu_time,
+                                              double gpu_time) {
+  PRS_REQUIRE(cpu_fraction > 0.0 && cpu_fraction < 1.0,
+              "rebalancing needs both devices to have had work");
+  PRS_REQUIRE(cpu_time > 0.0 && gpu_time > 0.0,
+              "observed device times must be positive");
+  const double cpu_rate = cpu_fraction / cpu_time;
+  const double gpu_rate = (1.0 - cpu_fraction) / gpu_time;
+  return cpu_rate / (cpu_rate + gpu_rate);
+}
+
 }  // namespace prs::roofline

@@ -106,6 +106,15 @@ class AnalyticScheduler {
   /// balances load across cores with low scheduling overhead.
   static int cpu_block_count(int cores, int multiplier = 4);
 
+  /// Feedback form of Eq (5): given the CPU fraction p a job actually ran
+  /// with and the observed per-device completion times, the fraction p'
+  /// that would have balanced them (Tc_p' == Tg_p'). With effective rates
+  /// Rc = p/Tc and Rg = (1-p)/Tg, p' = Rc / (Rc + Rg). Policy helper for
+  /// the adaptive scheduler (the paper's "p adjusted with runtime
+  /// measurements" escape hatch).
+  static double rebalanced_fraction(double cpu_fraction, double cpu_time,
+                                    double gpu_time);
+
  private:
   RooflineModel cpu_;
   RooflineModel gpu_;

@@ -10,6 +10,16 @@ Simulator::~Simulator() {
   // Pending events may hold coroutine handles whose frames were retired or
   // will never run; frames retired but not yet drained must still be freed.
   drain_zombies();
+  // Processes still suspended at teardown — typically eternal device/daemon
+  // loops blocked on a channel that will never deliver — are destroyed in
+  // reverse spawn order (locals' destructors run; nothing is resumed).
+  // Swap the list out first: unwinding locals may call back into retire().
+  std::vector<void*> live;
+  live.swap(live_);
+  for (auto it = live.rbegin(); it != live.rend(); ++it) {
+    std::coroutine_handle<>::from_address(*it).destroy();
+  }
+  drain_zombies();
 }
 
 void Simulator::schedule_at(Time t, std::function<void()> fn) {
@@ -26,6 +36,7 @@ void Simulator::spawn(Process process) {
   Process::Handle h = process.release();
   PRS_CHECK(h, "spawn of an empty process");
   h.promise().sim = this;
+  live_.push_back(h.address());
   schedule_after(0.0, [h] { h.resume(); });
 }
 
@@ -60,6 +71,14 @@ void Simulator::run_until(Time t_end) {
 }
 
 void Simulator::retire(void* coroutine_address) {
+  // Finished frames leave the live list (linear scan from the back: the
+  // retiring process is usually among the most recently spawned).
+  for (auto it = live_.rbegin(); it != live_.rend(); ++it) {
+    if (*it == coroutine_address) {
+      live_.erase(std::next(it).base());
+      break;
+    }
+  }
   zombies_.push_back(coroutine_address);
 }
 

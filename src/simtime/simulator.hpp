@@ -81,6 +81,11 @@ class Simulator {
   /// current event completes (the frame is still live while unwinding).
   void retire(void* coroutine_address);
 
+  /// Number of spawned processes whose frames are still live (suspended or
+  /// running). Daemons that block on a channel forever count until the
+  /// simulator destroys their frames at teardown.
+  std::size_t live_processes() const { return live_.size(); }
+
   /// Records an exception that escaped a process; rethrown from run().
   void record_exception(std::exception_ptr e);
 
@@ -106,6 +111,10 @@ class Simulator {
   std::uint64_t dispatched_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<void*> zombies_;
+  // Frames of spawned processes that have not finished yet, in spawn order
+  // (deterministic teardown). Mostly eternal daemons waiting on a channel;
+  // ~Simulator destroys them so they cannot leak.
+  std::vector<void*> live_;
   std::exception_ptr pending_exception_;
 };
 

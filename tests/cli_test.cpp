@@ -70,7 +70,29 @@ TEST(Cli, RejectsUnknownAndMalformed) {
   EXPECT_FALSE(parse({"--cpu-fraction=1.5"}, o, err));
   EXPECT_FALSE(parse({"--testbed=mars"}, o, err));
   EXPECT_FALSE(parse({"--scheduling=magic"}, o, err));
+  EXPECT_FALSE(parse({"--policy=greedy"}, o, err));
   EXPECT_FALSE(parse({"positional"}, o, err));
+}
+
+TEST(Cli, PolicySelection) {
+  // --policy accepts the three level-2 policies and wins over the legacy
+  // --scheduling spelling; without it, --scheduling still decides.
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse({"--policy=adaptive"}, o, err)) << err;
+  EXPECT_EQ(o.policy_name(), "adaptive");
+  // Adaptive refines the static dispatch path.
+  EXPECT_EQ(o.job_config().scheduling, core::SchedulingMode::kStatic);
+
+  Options o2;
+  ASSERT_TRUE(parse({"--scheduling=dynamic", "--policy=static"}, o2, err));
+  EXPECT_EQ(o2.policy_name(), "static");
+  EXPECT_EQ(o2.job_config().scheduling, core::SchedulingMode::kStatic);
+
+  Options o3;
+  ASSERT_TRUE(parse({"--scheduling=dynamic"}, o3, err));
+  EXPECT_EQ(o3.policy_name(), "dynamic");
+  EXPECT_EQ(o3.job_config().scheduling, core::SchedulingMode::kDynamic);
 }
 
 TEST(Cli, RejectsContradictoryBackends) {

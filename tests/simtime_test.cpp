@@ -498,5 +498,44 @@ TEST(Simulator, EndToEndDeterminism) {
   EXPECT_EQ(trace(), trace());
 }
 
+// A daemon blocked forever on a channel never finishes; its frame (and the
+// destructors of its locals) must still be released when the simulator is
+// torn down, or every eternal device loop leaks.
+struct TeardownGuard {
+  int* destroyed;
+  ~TeardownGuard() { ++*destroyed; }
+};
+
+Process eternal_daemon(Channel<int>& ch, int* destroyed) {
+  TeardownGuard guard{destroyed};
+  for (;;) {
+    auto v = co_await ch.recv();
+    if (!v) break;
+  }
+}
+
+Process send_without_closing(Simulator& sim, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await delay(sim, 0.1);
+    ch.send(i);
+  }
+}
+
+TEST(Simulator, DestroysLiveDaemonFramesAtTeardown) {
+  int destroyed = 0;
+  {
+    Simulator sim;
+    Channel<int> ch(sim);
+    sim.spawn(eternal_daemon(ch, &destroyed));
+    sim.spawn(send_without_closing(sim, ch, 3));  // finishes; ch stays open
+    sim.run();
+    EXPECT_TRUE(sim.idle());
+    // The sender's frame was retired; only the daemon is still live.
+    EXPECT_EQ(sim.live_processes(), 1u);
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
 }  // namespace
 }  // namespace prs::sim

@@ -46,6 +46,9 @@ usage: prs_run [options]
   --iterations=I      max iterations (iterative apps)
   --rows=M --cols=N   GEMV shape; --cols is also the FFT signal size
   --scheduling=MODE   static (default, Eq (8)) | dynamic (block polling)
+  --policy=NAME       level-2 scheduling policy: static | dynamic |
+                      adaptive (analytic p refined per iteration from
+                      observed busy times); overrides --scheduling
   --cpu-fraction=P    override the analytic CPU share p in [0,1]
   --functional        compute real results (default: modeled virtual time)
   --gpu-only          disable the CPU backend
@@ -101,6 +104,9 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
     } else if (key == "scheduling") {
       out.scheduling = val;
       ok = val == "static" || val == "dynamic";
+    } else if (key == "policy") {
+      out.policy = val;
+      ok = val == "static" || val == "dynamic" || val == "adaptive";
     } else if (key == "nodes") {
       ok = parse_int(val, out.nodes) && out.nodes >= 1;
     } else if (key == "gpus") {

@@ -17,7 +17,8 @@ namespace prs::tools {
 struct Options {
   std::string app = "cmeans";
   std::string testbed = "delta";     // delta | bigred2 | phi
-  std::string scheduling = "static"; // static | dynamic
+  std::string scheduling = "static"; // static | dynamic (legacy spelling)
+  std::string policy;                // static | dynamic | adaptive
   int nodes = 4;
   int gpus = 1;
   std::size_t points = 200000;
@@ -50,13 +51,21 @@ struct Options {
     return cfg;
   }
 
-  /// Job configuration from the mode/backend/scheduling flags.
+  /// Effective level-2 policy name: --policy wins over legacy --scheduling.
+  std::string policy_name() const {
+    return policy.empty() ? scheduling : policy;
+  }
+
+  /// Job configuration from the mode/backend/scheduling flags. The caller
+  /// owns the policy instance (core::make_policy(policy_name())) and sets
+  /// JobConfig::policy so it persists across --repeat runs.
   core::JobConfig job_config() const {
     core::JobConfig cfg;
     cfg.mode = functional ? core::ExecutionMode::kFunctional
                           : core::ExecutionMode::kModeled;
-    cfg.scheduling = scheduling == "dynamic" ? core::SchedulingMode::kDynamic
-                                             : core::SchedulingMode::kStatic;
+    cfg.scheduling = policy_name() == "dynamic"
+                         ? core::SchedulingMode::kDynamic
+                         : core::SchedulingMode::kStatic;
     cfg.use_cpu = !gpu_only;
     cfg.use_gpu = !cpu_only;
     cfg.cpu_fraction_override = cpu_fraction;

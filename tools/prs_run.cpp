@@ -7,6 +7,7 @@
 //   prs_run --app=gemv --rows=35000 --cols=10000 --gpu-only
 //   prs_run --app=wordcount --lines=20000 --mode=functional
 //   prs_run --app=gmm --testbed=bigred2 --gpus=1 --scheduling=dynamic
+//   prs_run --app=cmeans --policy=adaptive --repeat=3
 //   prs_run --list
 //
 // Modeled mode (default for big inputs) charges paper-scale virtual time
@@ -25,6 +26,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/cluster.hpp"
+#include "core/schedule_policy.hpp"
 #include "data/dataset.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
@@ -202,6 +204,10 @@ int run(const tools::Options& opt) {
   core::NodeConfig node = opt.node_config();
   core::Cluster cluster(sim, opt.nodes, node);
   core::JobConfig cfg = opt.job_config();
+  // One policy instance for the whole invocation: with --policy=adaptive it
+  // keeps its learned per-node fractions across --repeat runs.
+  auto policy = core::make_policy(opt.policy_name());
+  cfg.policy = policy.get();
   Rng rng(opt.seed);
 
   for (int rep = 0; rep < opt.repeat; ++rep) {
@@ -209,6 +215,18 @@ int run(const tools::Options& opt) {
     core::JobStats stats = run_app(opt, cluster, node, cfg, rng);
     print_stats(stats, opt.nodes);
     print_node_table(cluster, stats.elapsed);
+    if (const auto* ap =
+            dynamic_cast<const core::AdaptiveFeedbackPolicy*>(policy.get())) {
+      std::printf("\n-- adaptive policy --\n");
+      for (int r = 0; r < cluster.size(); ++r) {
+        const double p = ap->learned_fraction(r);
+        if (p >= 0.0) {
+          std::printf("node%d learned p = %.1f%%\n", r, p * 100.0);
+        } else {
+          std::printf("node%d learned p = (analytic, no feedback yet)\n", r);
+        }
+      }
+    }
     // Fresh counters per run so each summary reports that run only.
     if (rep + 1 < opt.repeat) cluster.reset_counters();
   }
