@@ -131,4 +131,16 @@ void Cluster::reset_counters() {
   for (auto& n : nodes_) n->reset_counters();
 }
 
+void Cluster::set_fault_hooks(simdev::ExecFaultHook* exec_hook,
+                              simnet::NetFaultHook* net_hook) {
+  for (int r = 0; r < size(); ++r) {
+    FatNode& n = node(r);
+    n.cpu().set_fault_context(exec_hook, r);
+    for (int g = 0; g < n.gpu_count(); ++g) {
+      n.gpu(g).set_fault_context(exec_hook, r, g);
+    }
+  }
+  fabric_->set_fault_hook(net_hook);
+}
+
 }  // namespace prs::core

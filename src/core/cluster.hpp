@@ -67,6 +67,13 @@ class Cluster {
   double total_pcie_bytes() const;
   void reset_counters();
 
+  /// Attaches (or detaches, with nullptrs) fault-injection hooks on every
+  /// device and on the fabric. The fault-tolerant job runner installs the
+  /// injector here for the duration of a job; detach only when the
+  /// simulator is drained.
+  void set_fault_hooks(simdev::ExecFaultHook* exec_hook,
+                       simnet::NetFaultHook* net_hook);
+
  private:
   void build(const std::vector<NodeConfig>& configs);
 

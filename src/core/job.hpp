@@ -10,6 +10,10 @@
 
 #include "common/error.hpp"
 
+namespace prs::fault {
+class FaultInjector;  // defined in fault/injector.hpp (layered below core)
+}
+
 namespace prs::core {
 
 class SchedulePolicy;
@@ -59,6 +63,33 @@ enum class SchedulingMode {
   kDynamic,
 };
 
+/// Tolerance knobs used by the fault-tolerant execution path (engaged only
+/// when JobConfig::faults is set; fault-free jobs never read these).
+struct FaultToleranceConfig {
+  /// Per-task deadline = factor x modeled duration of the attempt.
+  double task_timeout_factor = 8.0;
+  /// Floor for per-task deadlines (virtual seconds).
+  double min_task_timeout = 1e-3;
+  /// Total execution attempts per block (first try + retries) before the
+  /// node declares itself failed.
+  int max_task_attempts = 4;
+  /// First retry backoff (virtual seconds); doubles per retry.
+  double backoff_base = 250e-6;
+  /// A running block is a straggler when its elapsed time exceeds
+  /// straggler_factor x median duration of completed blocks.
+  double straggler_factor = 2.5;
+  /// Completed blocks needed before the median is trusted.
+  std::size_t straggler_min_completed = 3;
+  /// Speculatively re-execute stragglers on the other device class
+  /// (first result wins, losers discarded).
+  bool speculation = true;
+  /// Straggler watchdog period (virtual seconds).
+  double straggler_tick = 500e-6;
+  /// Whole-job attempts: after each failed attempt the failed nodes are
+  /// blacklisted and partitions re-split across survivors.
+  int max_job_attempts = 3;
+};
+
 /// Per-job knobs. Defaults follow the paper (§III.B.2).
 struct JobConfig {
   ExecutionMode mode = ExecutionMode::kFunctional;
@@ -103,6 +134,16 @@ struct JobConfig {
   /// set this to share one stateful policy (e.g. AdaptiveFeedbackPolicy)
   /// across jobs/iterations so it can learn.
   SchedulePolicy* policy = nullptr;
+
+  /// Fault injector (non-owning; must outlive the job). When set, the job
+  /// runs on the fault-tolerant path: timeouts + retries, straggler
+  /// speculation, reliable shuffle/gather, node blacklisting. When null
+  /// (default) the fault-free fast path runs, byte-identical to a build
+  /// without the fault subsystem.
+  fault::FaultInjector* faults = nullptr;
+
+  /// Tolerance knobs; read only when `faults` is set.
+  FaultToleranceConfig tolerance;
 };
 
 /// Utilization and cost accounting for one job (or one iteration batch).
@@ -125,6 +166,15 @@ struct JobStats {
   double shuffle_time = 0.0;  // all-to-all of intermediate pairs
   double reduce_time = 0.0;   // reduce tasks on the devices
   double gather_time = 0.0;   // final gather onto the master
+
+  // Fault-tolerance accounting (all zero on the fault-free path):
+  std::uint64_t task_retries = 0;       // re-executions after fail/timeout
+  std::uint64_t speculations = 0;       // straggler back-up attempts started
+  std::uint64_t speculative_wins = 0;   // back-up finished first
+  std::uint64_t double_completions = 0; // late duplicates discarded
+  std::uint64_t retransmits = 0;        // wire-level retransmissions
+  int blacklisted_nodes = 0;            // nodes excluded after failures
+  int job_attempts = 1;                 // 1 = no job-level restart
 
   /// Aggregate application rate (flops per virtual second).
   double total_flops() const { return cpu_flops + gpu_flops; }

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fault_tolerant.hpp"
 #include "core/partitioner.hpp"
 #include "core/pipeline.hpp"
 #include "core/schedule_policy.hpp"
@@ -180,6 +181,14 @@ JobResult<K, V> run_job(Cluster& cluster, const MapReduceSpec<K, V>& spec,
   if (policy == nullptr) {
     default_policy = make_policy(cfg.scheduling);
     policy = default_policy.get();
+  }
+
+  // With a fault injector attached the job runs on the tolerant path
+  // (timeouts, retries, speculation, blacklisting); without one, nothing
+  // below this line changes and virtual time stays byte-identical.
+  if (cfg.faults != nullptr) {
+    return detail::run_job_tolerant<K, V>(cluster, spec, cfg, n_items,
+                                          policy);
   }
 
   auto st = std::make_shared<detail::JobState<K, V>>();

@@ -1,0 +1,253 @@
+#include "fault/fault_plan.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace prs::fault {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+double parse_number(const std::string& text, const std::string& clause) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) {
+      throw InvalidArgument("trailing junk in number '" + text +
+                            "' in fault clause '" + clause + "'");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw InvalidArgument("bad number '" + text + "' in fault clause '" +
+                          clause + "'");
+  }
+}
+
+/// "2ms" -> 2e-3; suffixes s/ms/us/ns; bare numbers are seconds.
+double parse_time(const std::string& text, const std::string& clause) {
+  double scale = 1.0;
+  std::string num = text;
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return num.size() > s.size() &&
+           num.compare(num.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with("ns")) {
+    scale = 1e-9;
+    num = num.substr(0, num.size() - 2);
+  } else if (ends_with("us")) {
+    scale = 1e-6;
+    num = num.substr(0, num.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1e-3;
+    num = num.substr(0, num.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1.0;
+    num = num.substr(0, num.size() - 1);
+  }
+  const double v = parse_number(num, clause) * scale;
+  if (v < 0.0) {
+    throw InvalidArgument("negative time in fault clause '" + clause + "'");
+  }
+  return v;
+}
+
+/// "node3" -> 3, "*" -> -1; plain integers are accepted too.
+int parse_node(const std::string& text, const std::string& clause) {
+  if (text == "*") return -1;
+  std::string num = text;
+  if (num.rfind("node", 0) == 0) num = num.substr(4);
+  if (num.empty()) {
+    throw InvalidArgument("bad node target '" + text + "' in fault clause '" +
+                          clause + "'");
+  }
+  for (char c : num) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw InvalidArgument("bad node target '" + text +
+                            "' in fault clause '" + clause + "'");
+    }
+  }
+  return std::stoi(num);
+}
+
+FaultClause parse_clause(const std::string& raw) {
+  const std::string text = trim(raw);
+  std::vector<std::string> parts = split(text, ':');
+  if (parts.size() < 2) {
+    throw InvalidArgument("fault clause '" + text +
+                          "' needs at least kind:target");
+  }
+  FaultClause clause;
+  const std::string kind = trim(parts[0]);
+  bool link_kind = false;
+  if (kind == "gpu_hang") {
+    clause.kind = FaultKind::kGpuHang;
+  } else if (kind == "node_crash") {
+    clause.kind = FaultKind::kNodeCrash;
+  } else if (kind == "slow_node") {
+    clause.kind = FaultKind::kSlowNode;
+  } else if (kind == "task_error") {
+    clause.kind = FaultKind::kTaskError;
+  } else if (kind == "link_drop") {
+    clause.kind = FaultKind::kLinkDrop;
+    link_kind = true;
+  } else if (kind == "link_delay") {
+    clause.kind = FaultKind::kLinkDelay;
+    link_kind = true;
+  } else if (kind == "link_dup") {
+    clause.kind = FaultKind::kLinkDup;
+    link_kind = true;
+  } else {
+    throw InvalidArgument("unknown fault kind '" + kind + "' in clause '" +
+                          text + "'");
+  }
+
+  const std::string target = trim(parts[1]);
+  if (link_kind) {
+    const std::vector<std::string> ends = split(target, '-');
+    if (ends.size() == 1 && trim(ends[0]) == "*") {
+      clause.node_a = clause.node_b = -1;
+    } else if (ends.size() == 2) {
+      clause.node_a = parse_node(trim(ends[0]), text);
+      clause.node_b = parse_node(trim(ends[1]), text);
+    } else {
+      throw InvalidArgument("bad link target '" + target +
+                            "' in fault clause '" + text + "'");
+    }
+  } else {
+    clause.node_a = parse_node(target, text);
+  }
+
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::string p = trim(parts[i]);
+    if (p.rfind("t=", 0) == 0) {
+      const double t = parse_time(p.substr(2), text);
+      if (clause.kind == FaultKind::kLinkDelay) {
+        clause.extra_delay = t;
+      } else {
+        clause.at = t;
+      }
+    } else if (p.rfind("p=", 0) == 0) {
+      clause.probability = parse_number(p.substr(2), text);
+      if (clause.probability < 0.0 || clause.probability > 1.0) {
+        throw InvalidArgument("probability out of [0,1] in fault clause '" +
+                              text + "'");
+      }
+    } else if (p.rfind("x", 0) == 0 && p.size() > 1) {
+      clause.factor = parse_number(p.substr(1), text);
+      if (clause.factor <= 0.0) {
+        throw InvalidArgument("slowdown factor must be positive in '" + text +
+                              "'");
+      }
+    } else if (p == "cpu") {
+      clause.device = DeviceFilter::kCpu;
+    } else if (p == "gpu") {
+      clause.device = DeviceFilter::kGpu;
+    } else {
+      throw InvalidArgument("unknown parameter '" + p + "' in fault clause '" +
+                            text + "'");
+    }
+  }
+
+  if (clause.kind == FaultKind::kSlowNode && clause.factor == 1.0) {
+    throw InvalidArgument("slow_node clause '" + text +
+                          "' needs a slowdown factor (e.g. x4)");
+  }
+  if (clause.kind == FaultKind::kLinkDelay && clause.extra_delay == 0.0) {
+    throw InvalidArgument("link_delay clause '" + text +
+                          "' needs a delay (e.g. t=1ms)");
+  }
+  return clause;
+}
+
+std::string format_target(const FaultClause& c, bool link_kind) {
+  auto node_str = [](int n) {
+    return n < 0 ? std::string("*") : "node" + std::to_string(n);
+  };
+  if (!link_kind) return node_str(c.node_a);
+  return node_str(c.node_a) + "-" + node_str(c.node_b);
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGpuHang:
+      return "gpu_hang";
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kSlowNode:
+      return "slow_node";
+    case FaultKind::kTaskError:
+      return "task_error";
+    case FaultKind::kLinkDrop:
+      return "link_drop";
+    case FaultKind::kLinkDelay:
+      return "link_delay";
+    case FaultKind::kLinkDup:
+      return "link_dup";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  // Accept both ';' and ',' as clause separators.
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ',') c = ';';
+  }
+  for (const std::string& piece : split(normalized, ';')) {
+    if (trim(piece).empty()) continue;
+    plan.clauses.push_back(parse_clause(piece));
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  std::string out;
+  for (const FaultClause& c : clauses) {
+    const bool link_kind = c.kind == FaultKind::kLinkDrop ||
+                           c.kind == FaultKind::kLinkDelay ||
+                           c.kind == FaultKind::kLinkDup;
+    out += to_string(c.kind);
+    out += " ";
+    out += format_target(c, link_kind);
+    if (c.at > 0.0) out += " t=" + format_value(c.at);
+    if (c.extra_delay > 0.0) out += " delay=" + format_value(c.extra_delay);
+    if (c.probability < 1.0) out += " p=" + format_value(c.probability);
+    if (c.factor != 1.0) out += " x" + format_value(c.factor);
+    if (c.device == DeviceFilter::kCpu) out += " cpu";
+    if (c.device == DeviceFilter::kGpu) out += " gpu";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace prs::fault

@@ -1,0 +1,65 @@
+// Parsed fault-injection plan.
+//
+// A plan is a list of clauses parsed from a compact spec string, e.g.
+//
+//   gpu_hang:node1:t=2ms            stream worker on node1's GPU wedges at 2ms
+//   node_crash:node2:t=5ms          node2 stops computing and answering at 5ms
+//   slow_node:node3:x4              node3 runs all tasks 4x slower
+//   slow_node:node0:x6:cpu          only node0's CPU tasks are slowed
+//   task_error:node1:p=0.05         5% of node1's tasks fail transiently
+//   link_drop:node0-node2:p=0.01    1% of messages between node0<->node2 drop
+//   link_delay:*:t=1ms:p=0.1        10% of all messages get +1ms latency
+//   link_dup:node0-*:p=0.02         2% of node0's wire traffic is duplicated
+//
+// Clauses are separated by ';' (or ','). Node targets are `nodeN` or `*`;
+// link targets are `nodeA-nodeB` with `*` wildcards on either side and match
+// both directions. Times accept s/ms/us/ns suffixes (bare numbers are
+// seconds). The plan itself is pure data: the virtual-clock/randomness
+// semantics live in FaultInjector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prs::fault {
+
+enum class FaultKind {
+  kGpuHang,    // GPU stream commands on the node hang forever
+  kNodeCrash,  // all tasks hang + all wire traffic to/from the node drops
+  kSlowNode,   // task durations multiplied by `factor`
+  kTaskError,  // tasks fail transiently with probability `probability`
+  kLinkDrop,   // wire attempts on matching links drop
+  kLinkDelay,  // wire attempts on matching links gain `extra_delay`
+  kLinkDup,    // wire attempts on matching links are duplicated
+};
+
+/// Restricts device-targeted clauses to one engine class.
+enum class DeviceFilter { kAny, kCpu, kGpu };
+
+struct FaultClause {
+  FaultKind kind = FaultKind::kTaskError;
+  int node_a = -1;  // -1 = any node; for link kinds, one side of the link
+  int node_b = -1;  // other side of the link (-1 = any)
+  double at = 0.0;  // activation time on the virtual clock (seconds)
+  double probability = 1.0;
+  double factor = 1.0;       // slow_node multiplier (x4)
+  double extra_delay = 0.0;  // link_delay amount (seconds, from t=)
+  DeviceFilter device = DeviceFilter::kAny;
+};
+
+struct FaultPlan {
+  std::vector<FaultClause> clauses;
+
+  /// Parses a spec string; throws prs::InvalidArgument on malformed input.
+  /// An empty/blank spec yields an empty plan (inject nothing).
+  static FaultPlan parse(const std::string& spec);
+
+  bool empty() const { return clauses.empty(); }
+
+  /// Deterministic human-readable listing, one clause per line.
+  std::string summary() const;
+};
+
+const char* to_string(FaultKind kind);
+
+}  // namespace prs::fault

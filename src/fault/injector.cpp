@@ -1,0 +1,196 @@
+#include "fault/injector.hpp"
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace prs::fault {
+namespace {
+
+bool node_matches(int clause_node, int node) {
+  return clause_node < 0 || clause_node == node;
+}
+
+bool device_matches(DeviceFilter filter, simdev::DeviceClass cls) {
+  switch (filter) {
+    case DeviceFilter::kAny:
+      return true;
+    case DeviceFilter::kCpu:
+      return cls == simdev::DeviceClass::kCpu;
+    case DeviceFilter::kGpu:
+      return cls == simdev::DeviceClass::kGpu;
+  }
+  return true;
+}
+
+/// Link clauses match both directions.
+bool link_matches(const FaultClause& c, int src, int dst) {
+  return (node_matches(c.node_a, src) && node_matches(c.node_b, dst)) ||
+         (node_matches(c.node_a, dst) && node_matches(c.node_b, src));
+}
+
+std::string format_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", t);
+  return buf;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan,
+                             std::uint64_t seed)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      seed_(seed),
+      exec_rng_(Rng(seed).split(0x65786563ull)),  // "exec"
+      net_rng_(Rng(seed).split(0x6e657477ull)) {}  // "netw"
+
+void FaultInjector::record(FaultKind kind, const std::string& detail) {
+  log_.push_back("t=" + format_time(sim_.now()) + " " + to_string(kind) +
+                 " " + detail);
+  obs::TraceRecorder* tr = sim_.tracer();
+  if (tr != nullptr && tr->enabled()) {
+    tr->instant(tr->track("fault", "injector"), to_string(kind), "fault",
+                {obs::arg("detail", detail)});
+    tr->metrics()
+        .counter(std::string("fault.injected.") + to_string(kind))
+        .increment();
+  }
+}
+
+bool FaultInjector::node_crashed(int node) const {
+  for (const FaultClause& c : plan_.clauses) {
+    if (c.kind == FaultKind::kNodeCrash && node_matches(c.node_a, node) &&
+        sim_.now() >= c.at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+simdev::ExecFault FaultInjector::on_task(const simdev::ExecSite& site) {
+  simdev::ExecFault fault;
+  const double now = sim_.now();
+  for (const FaultClause& c : plan_.clauses) {
+    switch (c.kind) {
+      case FaultKind::kNodeCrash:
+        if (node_matches(c.node_a, site.node) && now >= c.at) {
+          fault.hang = true;
+        }
+        break;
+      case FaultKind::kGpuHang:
+        if (site.device == simdev::DeviceClass::kGpu &&
+            node_matches(c.node_a, site.node) && now >= c.at) {
+          fault.hang = true;
+        }
+        break;
+      case FaultKind::kSlowNode:
+        if (node_matches(c.node_a, site.node) &&
+            device_matches(c.device, site.device) && now >= c.at) {
+          fault.slowdown *= c.factor;
+        }
+        break;
+      case FaultKind::kTaskError: {
+        // Draw whenever the clause applies, even if an earlier clause
+        // already decided the verdict: the draw sequence must not depend
+        // on clause interactions, or schedules stop being reproducible
+        // under plan edits.
+        if (node_matches(c.node_a, site.node) &&
+            device_matches(c.device, site.device) && now >= c.at &&
+            exec_rng_.uniform() < c.probability) {
+          fault.fail = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  const std::string site_str =
+      "node" + std::to_string(site.node) +
+      (site.device == simdev::DeviceClass::kGpu
+           ? ".gpu" + std::to_string(site.card)
+           : ".cpu");
+  if (fault.hang) {
+    // A hang supersedes everything else for this task.
+    fault.slowdown = 1.0;
+    fault.fail = false;
+    ++stats_.hangs;
+    record(node_crashed(site.node) ? FaultKind::kNodeCrash
+                                   : FaultKind::kGpuHang,
+           site_str);
+    return fault;
+  }
+  if (fault.slowdown != 1.0) {
+    ++stats_.slowdowns;
+    record(FaultKind::kSlowNode, site_str + " x" + format_time(fault.slowdown));
+  }
+  if (fault.fail) {
+    ++stats_.task_errors;
+    record(FaultKind::kTaskError, site_str);
+  }
+  return fault;
+}
+
+simnet::NetFault FaultInjector::on_message(int src, int dst, int tag,
+                                           double bytes) {
+  (void)bytes;
+  simnet::NetFault fault;
+  const double now = sim_.now();
+  bool crash_drop = false;
+  for (const FaultClause& c : plan_.clauses) {
+    switch (c.kind) {
+      case FaultKind::kNodeCrash:
+        if (now >= c.at &&
+            (node_matches(c.node_a, src) || node_matches(c.node_a, dst))) {
+          fault.drop = true;
+          crash_drop = true;
+        }
+        break;
+      case FaultKind::kLinkDrop:
+        if (link_matches(c, src, dst) && now >= c.at &&
+            net_rng_.uniform() < c.probability) {
+          fault.drop = true;
+        }
+        break;
+      case FaultKind::kLinkDelay:
+        if (link_matches(c, src, dst) && now >= c.at &&
+            net_rng_.uniform() < c.probability) {
+          fault.extra_delay += c.extra_delay;
+        }
+        break;
+      case FaultKind::kLinkDup:
+        if (link_matches(c, src, dst) && now >= c.at &&
+            net_rng_.uniform() < c.probability) {
+          fault.duplicate = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  const std::string link_str = "node" + std::to_string(src) + "-node" +
+                               std::to_string(dst) + " tag" +
+                               std::to_string(tag);
+  if (fault.drop) {
+    ++stats_.drops;
+    record(crash_drop ? FaultKind::kNodeCrash : FaultKind::kLinkDrop,
+           link_str);
+    // A dropped message cannot also be delayed or duplicated.
+    fault.extra_delay = 0.0;
+    fault.duplicate = false;
+    return fault;
+  }
+  if (fault.extra_delay > 0.0) {
+    ++stats_.delays;
+    record(FaultKind::kLinkDelay,
+           link_str + " +" + format_time(fault.extra_delay));
+  }
+  if (fault.duplicate) {
+    ++stats_.duplicates;
+    record(FaultKind::kLinkDup, link_str);
+  }
+  return fault;
+}
+
+}  // namespace prs::fault

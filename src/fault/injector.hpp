@@ -1,0 +1,67 @@
+// Deterministic fault injector driven by the virtual clock.
+//
+// Implements both device-side (simdev::ExecFaultHook) and network-side
+// (simnet::NetFaultHook) hook interfaces from one seeded plan. Every
+// probabilistic decision draws from child streams of prs::Rng in event
+// order, and activation times are compared against the simulator clock, so
+// a given (plan, seed) pair produces a byte-identical fault schedule on
+// every run — the `log()` records exactly what fired and when.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "simdev/fault_hook.hpp"
+#include "simnet/fault_hook.hpp"
+#include "simtime/simulator.hpp"
+
+namespace prs::fault {
+
+class FaultInjector final : public simdev::ExecFaultHook,
+                            public simnet::NetFaultHook {
+ public:
+  /// Counts of faults actually fired (not clauses configured).
+  struct Stats {
+    std::uint64_t hangs = 0;
+    std::uint64_t slowdowns = 0;
+    std::uint64_t task_errors = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t duplicates = 0;
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  FaultInjector(sim::Simulator& sim, FaultPlan plan, std::uint64_t seed);
+
+  simdev::ExecFault on_task(const simdev::ExecSite& site) override;
+  simnet::NetFault on_message(int src, int dst, int tag,
+                              double bytes) override;
+
+  /// True when a node_crash clause for `node` has activated by now.
+  bool node_crashed(int node) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+  const Stats& stats() const { return stats_; }
+
+  /// The fired-fault schedule: one line per injected fault, in event order,
+  /// deterministically formatted (byte-comparable across runs).
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void record(FaultKind kind, const std::string& detail);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  Rng exec_rng_;  // device-side decisions
+  Rng net_rng_;   // wire-side decisions
+  Stats stats_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace prs::fault

@@ -66,7 +66,17 @@ sim::Process CpuDevice::task_worker(CpuTask task,
                                     sim::Promise<sim::Unit> done) {
   co_await core_pool_.acquire();
   sim::ResourceGuard core(core_pool_, 1);
-  const double t = task_duration(task);
+  ExecFault fault;
+  if (fault_hook_ != nullptr) {
+    fault = fault_hook_->on_task(
+        ExecSite{fault_node_, DeviceClass::kCpu, /*card=*/-1});
+    if (fault.hang) {
+      // Hung task: the completion promise is destroyed unresolved, so the
+      // future never fires. The caller's timeout is the only way out.
+      co_return;
+    }
+  }
+  const double t = task_duration(task) * fault.slowdown;
   obs::TraceRecorder* tr = sim_.tracer();
   const int lane =
       (tr != nullptr && tr->enabled()) ? acquire_trace_lane() : -1;
@@ -85,7 +95,13 @@ sim::Process CpuDevice::task_worker(CpuTask task,
         .observe(t);
     trace_lane_busy_[static_cast<std::size_t>(lane)] = 0;
   }
-  if (task.body) task.body();
+  if (fault.fail) {
+    // Transient failure: full time was charged, the functional payload is
+    // skipped, and the caller learns about it through the failed-flag.
+    if (task.failed != nullptr) *task.failed = true;
+  } else {
+    if (task.body) task.body();
+  }
   done.set_value(sim::Unit{});
 }
 

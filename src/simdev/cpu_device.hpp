@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "simdev/device_spec.hpp"
+#include "simdev/fault_hook.hpp"
 #include "simdev/workload.hpp"
 #include "simtime/future.hpp"
 #include "simtime/resource.hpp"
@@ -34,6 +35,9 @@ struct CpuTask {
   double memory_efficiency = 1.0;
   /// Functional payload; runs at task completion time.
   std::function<void()> body;
+  /// Optional out-flag set to true when fault injection fails this task
+  /// (the body is then skipped but the completion future still resolves).
+  bool* failed = nullptr;
 };
 
 /// One simulated multi-core CPU (all sockets of a node together).
@@ -69,6 +73,14 @@ class CpuDevice {
     trace_process_ = std::move(process);
   }
 
+  /// Attaches (or detaches, with nullptr) the fault-injection hook and
+  /// records which cluster node this device belongs to. Costs one null
+  /// check per task when detached.
+  void set_fault_context(ExecFaultHook* hook, int node) {
+    fault_hook_ = hook;
+    fault_node_ = node;
+  }
+
  private:
   sim::Process task_worker(CpuTask task, sim::Promise<sim::Unit> done);
   int acquire_trace_lane();
@@ -82,6 +94,8 @@ class CpuDevice {
   std::uint64_t tasks_executed_ = 0;
   std::string trace_process_ = "dev";
   std::vector<std::uint8_t> trace_lane_busy_;  // per-core span lanes
+  ExecFaultHook* fault_hook_ = nullptr;
+  int fault_node_ = -1;
 };
 
 }  // namespace prs::simdev

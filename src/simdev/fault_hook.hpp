@@ -1,0 +1,43 @@
+// Fault-injection hook for device task execution.
+//
+// Devices consult an optional ExecFaultHook immediately before running each
+// task/kernel. The hook decides, from the virtual clock and its own seeded
+// randomness, whether this particular execution is slowed down, fails
+// transiently, or hangs forever. The hook lives above simdev (prs::fault
+// implements it); devices only know the narrow interface so the layering
+// stays acyclic. When no hook is attached the cost is a single null check,
+// keeping fault-free runs byte-identical.
+#pragma once
+
+namespace prs::simdev {
+
+/// Which execution engine a faulted task was headed for.
+enum class DeviceClass { kCpu, kGpu };
+
+/// Verdict for one task execution.
+struct ExecFault {
+  /// Multiplies the modeled duration (1.0 = healthy, 4.0 = 4x slower).
+  double slowdown = 1.0;
+  /// Task never completes: time is consumed, the completion future is never
+  /// resolved (models a hung GPU daemon / seized core).
+  bool hang = false;
+  /// Task completes on time but reports failure through its failed-flag;
+  /// the functional payload is skipped (transient error, retryable).
+  bool fail = false;
+};
+
+/// Where a task is about to execute.
+struct ExecSite {
+  int node = -1;  // FatNode rank, -1 for standalone devices
+  DeviceClass device = DeviceClass::kCpu;
+  int card = -1;  // GPU index within the node, -1 for CPU
+};
+
+class ExecFaultHook {
+ public:
+  virtual ~ExecFaultHook() = default;
+  /// Called once per task execution attempt, at submission-to-engine time.
+  virtual ExecFault on_task(const ExecSite& site) = 0;
+};
+
+}  // namespace prs::simdev

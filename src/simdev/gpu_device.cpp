@@ -159,6 +159,16 @@ sim::Process GpuDevice::stream_worker(Stream& stream) {
   for (;;) {
     auto cmd = co_await q.recv();
     if (!cmd) break;  // device destroyed
+    ExecFault fault;
+    if (fault_hook_ != nullptr) {
+      fault = fault_hook_->on_task(
+          ExecSite{fault_node_, DeviceClass::kGpu, fault_card_});
+      if (fault.hang) {
+        // Wedged stream: this command and everything queued behind it
+        // never complete (the worker exits; futures stay unresolved).
+        co_return;
+      }
+    }
     // A hardware work queue slot covers the whole command. With one queue
     // (Fermi) every command on the device serializes; with Hyper-Q copies
     // and kernels from different streams overlap.
@@ -192,7 +202,7 @@ sim::Process GpuDevice::stream_worker(Stream& stream) {
       case Stream::Command::Type::kKernel: {
         co_await compute_engine_.acquire();
         sim::ResourceGuard engine(compute_engine_, 1);
-        const double t = kernel_duration((*cmd)->kernel);
+        const double t = kernel_duration((*cmd)->kernel) * fault.slowdown;
         co_await sim::delay(sim_, t);
         compute_busy_ += t;
         flops_executed_ += (*cmd)->kernel.workload.flops;
@@ -212,7 +222,12 @@ sim::Process GpuDevice::stream_worker(Stream& stream) {
                          obs::geometric_buckets(1e-6, 4.0, 16))
               .observe(t);
         }
-        if ((*cmd)->kernel.body) (*cmd)->kernel.body();
+        if (fault.fail) {
+          // Transient kernel failure: time charged, payload skipped.
+          if ((*cmd)->kernel.failed != nullptr) *(*cmd)->kernel.failed = true;
+        } else {
+          if ((*cmd)->kernel.body) (*cmd)->kernel.body();
+        }
         break;
       }
     }

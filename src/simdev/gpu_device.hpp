@@ -24,6 +24,7 @@
 #include <string>
 
 #include "simdev/device_spec.hpp"
+#include "simdev/fault_hook.hpp"
 #include "simdev/workload.hpp"
 #include "simtime/channel.hpp"
 #include "simtime/future.hpp"
@@ -46,6 +47,9 @@ struct KernelDesc {
   /// Host-executed functional payload producing the kernel's real results;
   /// runs at kernel completion time. May be empty in modeled-only benches.
   std::function<void()> body;
+  /// Optional out-flag set to true when fault injection fails this kernel
+  /// (the body is then skipped but the completion future still resolves).
+  bool* failed = nullptr;
 };
 
 /// RAII handle for a device-memory allocation (accounting only — the actual
@@ -152,6 +156,17 @@ class GpuDevice {
     trace_gpu_label_ = std::move(gpu_label);
   }
 
+  /// Attaches (or detaches, with nullptr) the fault-injection hook and
+  /// records this card's cluster coordinates. Costs one null check per
+  /// stream command when detached. A command the hook hangs kills its
+  /// stream's worker, so everything queued behind it also never completes —
+  /// matching the in-order semantics of a wedged CUDA stream.
+  void set_fault_context(ExecFaultHook* hook, int node, int card) {
+    fault_hook_ = hook;
+    fault_node_ = node;
+    fault_card_ = card;
+  }
+
  private:
   friend class Stream;
   friend class DeviceAllocation;
@@ -171,6 +186,9 @@ class GpuDevice {
   std::uint64_t kernels_launched_ = 0;
   std::string trace_process_ = "dev";
   std::string trace_gpu_label_ = "gpu";
+  ExecFaultHook* fault_hook_ = nullptr;
+  int fault_node_ = -1;
+  int fault_card_ = -1;
 };
 
 }  // namespace prs::simdev

@@ -1,5 +1,6 @@
 #include "simnet/fabric.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/trace.hpp"
@@ -11,6 +12,10 @@ namespace {
 // Collectives that run in phases (allreduce = reduce + broadcast) offset the
 // user's tag per phase; the caller owns tags below this stride.
 constexpr int kPhaseTagStride = 1 << 24;
+
+// Ack tags count down from here; user tags are non-negative, so the two
+// spaces can never collide.
+constexpr int kAckTagBase = -1;
 
 }  // namespace
 
@@ -63,7 +68,18 @@ sim::Process Communicator::deliver(int dst, int tag, Message msg) {
   auto& ingress = *fabric_.ingress_[static_cast<std::size_t>(dst)];
   const double bytes = msg.bytes;
   const double t0 = fabric_.simulator().now();
+  // Raw deliveries (fault-free traffic, protocol acks) can still be dropped
+  // or delayed by an attached hook; one null check when detached.
+  NetFault fault;
+  if (fabric_.fault_hook_ != nullptr) {
+    fault = fabric_.fault_hook_->on_message(rank_, dst, tag, bytes);
+  }
   co_await egress.transfer(bytes);
+  if (fault.drop) co_return;
+  if (fault.extra_delay > 0.0) {
+    auto lag = sim::delay(fabric_.simulator(), fault.extra_delay);
+    co_await lag;
+  }
   co_await ingress.transfer(bytes);
   obs::TraceRecorder* tr = fabric_.simulator().tracer();
   if (tr != nullptr && tr->enabled()) {
@@ -79,7 +95,16 @@ sim::Process Communicator::deliver(int dst, int tag, Message msg) {
         .histogram("net.msg_bytes", obs::geometric_buckets(64.0, 4.0, 16))
         .observe(bytes);
   }
-  fabric_.comm(dst).inbox(rank_, tag).send(std::move(msg));
+  Communicator& peer = fabric_.comm(dst);
+  if (tag < 0) {
+    // Protocol ack: if the sender already gave up (its ack inbox was
+    // reclaimed), discard instead of resurrecting the inbox entry.
+    auto it = peer.inboxes_.find(std::make_pair(rank_, tag));
+    if (it == peer.inboxes_.end()) co_return;
+    it->second->send(std::move(msg));
+    co_return;
+  }
+  peer.inbox(rank_, tag).send(std::move(msg));
 }
 
 void Communicator::send(int dst, int tag, Message msg) {
@@ -87,6 +112,7 @@ void Communicator::send(int dst, int tag, Message msg) {
   PRS_REQUIRE(msg.bytes >= 0.0, "message size must be non-negative");
   if (dst == rank_) {
     // Loopback: no wire cost, delivered as an event at the current time.
+    // Loopback never touches the wire, so fault hooks do not apply.
     auto& box = inbox(rank_, tag);
     fabric_.simulator().schedule_after(
         0.0, [&box, m = std::make_shared<Message>(std::move(msg))]() mutable {
@@ -94,6 +120,109 @@ void Communicator::send(int dst, int tag, Message msg) {
         });
     return;
   }
+  if (fabric_.fault_hook_ != nullptr) {
+    // Lossy fabric: sequenced ack/retransmit protocol.
+    const std::uint64_t seq = rel_next_seq_[std::make_pair(dst, tag)]++;
+    fabric_.simulator().spawn(reliable_send(dst, tag, std::move(msg), seq));
+    return;
+  }
+  fabric_.simulator().spawn(deliver(dst, tag, std::move(msg)));
+}
+
+sim::Process Communicator::ack_pump(int src, int ack_tag,
+                                    sim::Promise<sim::Unit> acked) {
+  auto v = co_await inbox(src, ack_tag).recv();
+  // nullopt: the ack inbox was reclaimed (sender gave up) — nothing to do.
+  if (v.has_value()) acked.set_value(sim::Unit{});
+}
+
+sim::Process Communicator::reliable_send(int dst, int tag, Message msg,
+                                         std::uint64_t seq) {
+  sim::Simulator& sim = fabric_.simulator();
+  auto& egress = *fabric_.egress_[static_cast<std::size_t>(rank_)];
+  auto& ingress = *fabric_.ingress_[static_cast<std::size_t>(dst)];
+  const ReliabilityParams& rel = fabric_.reliability_;
+  const double bytes = msg.bytes;
+  const int ack_tag = kAckTagBase - next_ack_id_++;
+
+  sim::Promise<sim::Unit> acked(sim);
+  sim::Future<sim::Unit> ack_future = acked.get_future();
+  {
+    sim::Process pump = ack_pump(dst, ack_tag, acked);
+    sim.spawn(std::move(pump));
+  }
+
+  const FabricSpec& fs = fabric_.spec_;
+  const double rtt_estimate =
+      2.0 * fs.latency + (bytes + rel.ack_bytes) / fs.link_bandwidth;
+  double deadline =
+      std::max(rel.min_ack_timeout, rel.ack_timeout_factor * rtt_estimate);
+
+  for (int attempt = 0;; ++attempt) {
+    NetFault fault;
+    if (fabric_.fault_hook_ != nullptr) {
+      fault = fabric_.fault_hook_->on_message(rank_, dst, tag, bytes);
+    }
+    const double t0 = sim.now();
+    co_await egress.transfer(bytes);
+    if (!fault.drop) {
+      if (fault.extra_delay > 0.0) {
+        auto lag = sim::delay(sim, fault.extra_delay);
+        co_await lag;
+      }
+      co_await ingress.transfer(bytes);
+      obs::TraceRecorder* tr = sim.tracer();
+      if (tr != nullptr && tr->enabled()) {
+        tr->complete(tr->track("node" + std::to_string(rank_), "nic"),
+                     "send.n" + std::to_string(dst), "net", t0, sim.now(),
+                     {obs::arg("bytes", bytes), obs::arg("dst", dst),
+                      obs::arg("tag", tag), obs::arg("attempt", attempt)});
+        tr->metrics().counter("net.bytes").add(bytes);
+        tr->metrics()
+            .histogram("net.msg_bytes", obs::geometric_buckets(64.0, 4.0, 16))
+            .observe(bytes);
+      }
+      Communicator& peer = fabric_.comm(dst);
+      peer.reliable_accept(rank_, tag, seq, ack_tag, msg);
+      if (fault.duplicate) peer.reliable_accept(rank_, tag, seq, ack_tag, msg);
+    }
+    auto timed = sim::with_timeout(sim, ack_future, deadline);
+    const bool got_ack = co_await timed;
+    if (got_ack || attempt >= rel.max_retransmits) {
+      // Success — or the peer is presumed dead and job-level recovery takes
+      // over. Reclaim the ack inbox; a pending pump wakes with nullopt and
+      // exits, a late ack finds no inbox and is discarded.
+      inboxes_.erase(std::make_pair(dst, ack_tag));
+      co_return;
+    }
+    deadline *= 2.0;
+    ++fabric_.retransmits_;
+    obs::TraceRecorder* tr = sim.tracer();
+    if (tr != nullptr && tr->enabled()) {
+      tr->metrics().counter("net.retransmits").increment();
+    }
+  }
+}
+
+void Communicator::reliable_accept(int src, int tag, std::uint64_t seq,
+                                   int ack_tag, Message msg) {
+  // Ack every copy, even duplicates: the previous ack may have been lost.
+  Message ack;
+  ack.bytes = fabric_.reliability_.ack_bytes;
+  send_unreliable(src, ack_tag, std::move(ack));
+  RelInbound& in = rel_in_[std::make_pair(src, tag)];
+  if (seq < in.next_seq || in.held.count(seq) != 0) return;  // duplicate
+  in.held.emplace(seq, std::move(msg));
+  // Release in sequence order so recv() keeps per-(src,tag) FIFO semantics.
+  for (auto it = in.held.find(in.next_seq); it != in.held.end();
+       it = in.held.find(in.next_seq)) {
+    inbox(src, tag).send(std::move(it->second));
+    in.held.erase(it);
+    ++in.next_seq;
+  }
+}
+
+void Communicator::send_unreliable(int dst, int tag, Message msg) {
   fabric_.simulator().spawn(deliver(dst, tag, std::move(msg)));
 }
 

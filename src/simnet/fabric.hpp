@@ -13,11 +13,13 @@
 // per-node throughput drop the paper reports.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "simnet/fault_hook.hpp"
 #include "simnet/message.hpp"
 #include "simtime/channel.hpp"
 #include "simtime/future.hpp"
@@ -32,6 +34,19 @@ struct FabricSpec {
   double link_bandwidth = 1e9;
   /// One-way message latency (s).
   double latency = 50e-6;
+};
+
+/// Knobs for the ack/retransmit protocol engaged while a fault hook is
+/// attached (lossy fabric). Unused on the fault-free fast path.
+struct ReliabilityParams {
+  /// Retransmissions before the sender gives up (peer presumed dead).
+  int max_retransmits = 8;
+  /// First ack deadline = factor x estimated RTT; doubles per retry.
+  double ack_timeout_factor = 8.0;
+  /// Floor for the first ack deadline (seconds of virtual time).
+  double min_ack_timeout = 1e-4;
+  /// Wire size charged for each ack message.
+  double ack_bytes = 64.0;
 };
 
 class Communicator;
@@ -54,6 +69,20 @@ class Fabric {
   /// Total bytes moved through the fabric (all links, egress side).
   double bytes_sent() const;
 
+  /// Attaches (or detaches, with nullptr) the fault-injection hook. While a
+  /// hook is attached, point-to-point sends switch to a sequenced
+  /// ack/retransmit protocol (drops are retransmitted, duplicates deduped,
+  /// per-(src,tag) FIFO order preserved); loopback sends are unaffected.
+  /// Detach only when the fabric is quiescent (simulator drained).
+  void set_fault_hook(NetFaultHook* hook) { fault_hook_ = hook; }
+  NetFaultHook* fault_hook() const { return fault_hook_; }
+
+  void set_reliability(ReliabilityParams params) { reliability_ = params; }
+  const ReliabilityParams& reliability() const { return reliability_; }
+
+  /// Retransmissions performed since construction (monotonic).
+  std::uint64_t retransmits() const { return retransmits_; }
+
  private:
   friend class Communicator;
 
@@ -62,6 +91,9 @@ class Fabric {
   std::vector<std::unique_ptr<sim::BandwidthLink>> egress_;
   std::vector<std::unique_ptr<sim::BandwidthLink>> ingress_;
   std::vector<std::unique_ptr<Communicator>> comms_;
+  NetFaultHook* fault_hook_ = nullptr;
+  ReliabilityParams reliability_;
+  std::uint64_t retransmits_ = 0;
 };
 
 /// Combines two reduction contributions into one (payload + wire size).
@@ -118,10 +150,31 @@ class Communicator {
   sim::Channel<Message>& inbox(int src, int tag);
   sim::Process deliver(int dst, int tag, Message msg);
 
+  // -- reliable path (active while a fault hook is attached) -------------
+  // Each message gets a per-(dst,tag) sequence number and a unique ack tag
+  // (negative, so it can never collide with user tags). The sender
+  // retransmits with exponential backoff until the ack arrives or it gives
+  // up; the receiver acks every copy, dedups, and releases messages to the
+  // inbox strictly in sequence order so recv() keeps FIFO semantics.
+  sim::Process reliable_send(int dst, int tag, Message msg,
+                             std::uint64_t seq);
+  sim::Process ack_pump(int src, int ack_tag, sim::Promise<sim::Unit> acked);
+  void reliable_accept(int src, int tag, std::uint64_t seq, int ack_tag,
+                       Message msg);
+  void send_unreliable(int dst, int tag, Message msg);
+
+  struct RelInbound {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, Message> held;  // out-of-order buffer
+  };
+
   Fabric& fabric_;
   int rank_;
   std::map<std::pair<int, int>, std::unique_ptr<sim::Channel<Message>>>
       inboxes_;
+  std::map<std::pair<int, int>, std::uint64_t> rel_next_seq_;  // (dst, tag)
+  std::map<std::pair<int, int>, RelInbound> rel_in_;           // (src, tag)
+  int next_ack_id_ = 0;
 };
 
 }  // namespace prs::simnet

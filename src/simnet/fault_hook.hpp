@@ -1,0 +1,31 @@
+// Fault-injection hook for fabric message delivery.
+//
+// The fabric consults an optional NetFaultHook once per wire attempt (first
+// transmission, every retransmission, and acks alike). The hook decides from
+// the virtual clock and its own seeded randomness whether that attempt is
+// dropped, delayed, or duplicated. prs::fault implements the interface;
+// simnet only sees this narrow surface so the layering stays acyclic. With
+// no hook attached the cost is a single null check, keeping fault-free runs
+// byte-identical.
+#pragma once
+
+namespace prs::simnet {
+
+/// Verdict for one wire attempt of one message.
+struct NetFault {
+  /// Message vanishes after occupying the sender's egress link.
+  bool drop = false;
+  /// Extra in-flight latency (seconds) added after egress.
+  double extra_delay = 0.0;
+  /// Message is delivered twice (receiver-side dedup must discard one).
+  bool duplicate = false;
+};
+
+class NetFaultHook {
+ public:
+  virtual ~NetFaultHook() = default;
+  /// Called once per wire attempt; `tag` < 0 marks protocol acks.
+  virtual NetFault on_message(int src, int dst, int tag, double bytes) = 0;
+};
+
+}  // namespace prs::simnet

@@ -14,6 +14,7 @@
 
 #include <coroutine>
 #include <deque>
+#include <memory>
 #include <optional>
 
 #include "common/error.hpp"
@@ -28,8 +29,22 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  /// A channel may be destroyed while receivers are still suspended on it
+  /// (e.g. a device torn down mid-run). Pending waiters are woken through
+  /// the event queue and resolve to nullopt without ever touching the freed
+  /// channel: the awaiter checks the shared `alive` flag before reaching
+  /// back into channel state. The channel must not outlive its Simulator.
+  ~Channel() {
+    *alive_ = false;
+    for (const Waiter& w : waiters_) {
+      sim_.schedule_after(0.0, [h = w.handle] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
   struct RecvAwaiter {
     Channel& ch;
+    std::shared_ptr<const bool> alive;
     std::optional<T> slot;  // filled by send() on direct handoff
 
     bool await_ready() const { return !ch.queue_.empty() || ch.closed_; }
@@ -38,6 +53,7 @@ class Channel {
     }
     std::optional<T> await_resume() {
       if (slot.has_value()) return std::move(slot);
+      if (!*alive) return std::nullopt;  // channel destroyed while suspended
       if (!ch.queue_.empty()) {
         T v = std::move(ch.queue_.front());
         ch.queue_.pop_front();
@@ -75,7 +91,7 @@ class Channel {
   std::size_t size() const { return queue_.size(); }
 
   /// co_await ch.recv() -> std::optional<T>.
-  RecvAwaiter recv() { return RecvAwaiter{*this, std::nullopt}; }
+  RecvAwaiter recv() { return RecvAwaiter{*this, alive_, std::nullopt}; }
 
   /// Non-blocking receive.
   std::optional<T> try_recv() {
@@ -95,6 +111,9 @@ class Channel {
   std::deque<T> queue_;
   std::deque<Waiter> waiters_;
   bool closed_ = false;
+  // Shared with outstanding RecvAwaiters; flipped to false by the
+  // destructor so a waiter resumed after channel destruction can detect it.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace prs::sim

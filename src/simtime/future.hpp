@@ -108,6 +108,30 @@ class Promise {
   std::shared_ptr<State> state_;
 };
 
+/// Resolves to true when `f` resolves within `dt` virtual seconds from now,
+/// or false when the deadline passes first. The race is decided through the
+/// event queue, so it is deterministic; a resolution arriving after the
+/// deadline is ignored here (the underlying future stays valid and can be
+/// awaited again, e.g. by a retry with a longer deadline).
+template <typename T>
+Future<bool> with_timeout(Simulator& sim, const Future<T>& f, Time dt) {
+  PRS_REQUIRE(f.valid(), "with_timeout on an invalid future");
+  PRS_REQUIRE(dt >= 0.0, "with_timeout deadline must be non-negative");
+  auto done = std::make_shared<Promise<bool>>(sim);
+  auto decided = std::make_shared<bool>(false);
+  f.on_ready([done, decided](const T&) {
+    if (*decided) return;
+    *decided = true;
+    done->set_value(true);
+  });
+  sim.schedule_after(dt, [done, decided] {
+    if (*decided) return;
+    *decided = true;
+    done->set_value(false);
+  });
+  return done->get_future();
+}
+
 /// Future that resolves when all inputs have resolved; carries the count.
 template <typename T>
 Future<Unit> when_all(Simulator& sim, const std::vector<Future<T>>& futures) {

@@ -352,6 +352,71 @@ TEST(Collectives, MismatchedAllToAllSizeThrows) {
   EXPECT_TRUE(threw);
 }
 
+// -- edge cases (behavior the retransmit layer relies on) -------------------
+
+TEST(Fabric, ZeroByteMessageCostsOnlyLatency) {
+  Simulator sim;
+  Fabric fab(sim, 2, fast_fabric());
+  std::vector<std::pair<int, double>> log;
+  sim.spawn(sender(sim, fab.comm(0), 1, /*bytes=*/0.0, 9));
+  sim.spawn(receiver(sim, fab.comm(1), 0, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 9);
+  EXPECT_DOUBLE_EQ(log[0].second, 0.5);  // no wire time, pure latency
+}
+
+TEST(Fabric, InterleavedTagsResolveToMatchingReceivers) {
+  Simulator sim;
+  Fabric fab(sim, 2, fast_fabric());
+  std::vector<int> tag1, tag2;
+  sim.spawn([](Simulator&, Communicator& c) -> sim::Process {
+    c.send(1, 1, Message{10.0, 100});
+    c.send(1, 2, Message{10.0, 200});
+    c.send(1, 1, Message{10.0, 101});
+    c.send(1, 2, Message{10.0, 201});
+    co_return;
+  }(sim, fab.comm(0)));
+  // The tag-2 receiver is spawned first but must not steal tag-1 traffic.
+  sim.spawn([](Simulator&, Communicator& c,
+               std::vector<int>& out) -> sim::Process {
+    for (int i = 0; i < 2; ++i) {
+      Message m = co_await c.recv(0, 2);
+      out.push_back(m.payload_as<int>());
+    }
+  }(sim, fab.comm(1), tag2));
+  sim.spawn([](Simulator&, Communicator& c,
+               std::vector<int>& out) -> sim::Process {
+    for (int i = 0; i < 2; ++i) {
+      Message m = co_await c.recv(0, 1);
+      out.push_back(m.payload_as<int>());
+    }
+  }(sim, fab.comm(1), tag1));
+  sim.run();
+  EXPECT_EQ(tag1, (std::vector<int>{100, 101}));
+  EXPECT_EQ(tag2, (std::vector<int>{200, 201}));
+}
+
+TEST(Fabric, SelfSendWithInterleavedTagsAndZeroBytes) {
+  Simulator sim;
+  Fabric fab(sim, 1, fast_fabric());
+  std::vector<int> got;
+  sim.spawn([](Simulator&, Communicator& c,
+               std::vector<int>& out) -> sim::Process {
+    c.send(0, 5, Message{0.0, 1});
+    c.send(0, 6, Message{0.0, 2});
+    // Receive in the opposite tag order: loopback must match by tag, not
+    // arrival order.
+    Message b = co_await c.recv(0, 6);
+    Message a = co_await c.recv(0, 5);
+    out.push_back(b.payload_as<int>());
+    out.push_back(a.payload_as<int>());
+  }(sim, fab.comm(0), got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{2, 1}));
+  EXPECT_DOUBLE_EQ(fab.bytes_sent(), 0.0);  // loopback never hits the wire
+}
+
 TEST(Fabric, RankValidation) {
   Simulator sim;
   Fabric fab(sim, 2, fast_fabric());

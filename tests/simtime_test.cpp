@@ -3,6 +3,7 @@
 // and bandwidth links.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -239,6 +240,54 @@ TEST(Future, WhenAllOfEmptySetResolvesImmediately) {
   EXPECT_TRUE(all.ready());
 }
 
+TEST(Future, WithTimeoutResolvesTrueWhenFutureWins) {
+  Simulator sim;
+  Promise<int> p(sim);
+  sim.schedule_at(1.0, [&] { p.set_value(7); });
+  bool result = false;
+  double resolved_at = -1.0;
+  auto timed = with_timeout(sim, p.get_future(), 5.0);
+  timed.on_ready([&](bool ok) {
+    result = ok;
+    resolved_at = sim.now();
+  });
+  sim.run();
+  EXPECT_TRUE(result);
+  EXPECT_EQ(resolved_at, 1.0);
+}
+
+TEST(Future, WithTimeoutResolvesFalseWhenDeadlineWins) {
+  Simulator sim;
+  Promise<int> p(sim);
+  sim.schedule_at(9.0, [&] { p.set_value(7); });  // too late
+  bool result = true;
+  double resolved_at = -1.0;
+  auto timed = with_timeout(sim, p.get_future(), 2.0);
+  timed.on_ready([&](bool ok) {
+    result = ok;
+    resolved_at = sim.now();
+  });
+  sim.run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(resolved_at, 2.0);
+}
+
+TEST(Future, WithTimeoutLateResolutionLeavesFutureReusable) {
+  // A retry can re-arm with_timeout on the same underlying future.
+  Simulator sim;
+  Promise<int> p(sim);
+  sim.schedule_at(3.0, [&] { p.set_value(7); });
+  std::vector<bool> results;
+  auto first = with_timeout(sim, p.get_future(), 1.0);
+  first.on_ready([&](bool ok) {
+    results.push_back(ok);
+    auto second = with_timeout(sim, p.get_future(), 4.0);
+    second.on_ready([&](bool ok2) { results.push_back(ok2); });
+  });
+  sim.run();
+  EXPECT_EQ(results, (std::vector<bool>{false, true}));
+}
+
 // -- channels ----------------------------------------------------------------
 
 Process consumer(Simulator& sim, Channel<int>& ch, std::vector<int>& out) {
@@ -294,6 +343,42 @@ TEST(Channel, CloseWakesBlockedReceiversWithNullopt) {
   sim.schedule_at(2.0, [&] { ch.close(); });
   sim.run();
   EXPECT_TRUE(done);
+}
+
+TEST(Channel, DestroyedWhileReceiverSuspendedYieldsNullopt) {
+  // Regression: a process blocked on recv() used to dereference freed
+  // channel state when the channel was destroyed before it resumed. The
+  // waiter must instead be woken with nullopt and never touch the channel.
+  Simulator sim;
+  auto ch = std::make_unique<Channel<int>>(sim);
+  bool resumed = false;
+  sim.spawn([](Simulator&, Channel<int>& c, bool& flag) -> Process {
+    auto v = co_await c.recv();
+    EXPECT_FALSE(v.has_value());
+    flag = true;
+  }(sim, *ch, resumed));
+  sim.schedule_at(1.0, [&] { ch.reset(); });  // destroy mid-run
+  sim.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Channel, DestroyedAfterCloseBeforeResumeIsSafe) {
+  // close() schedules the wake-up; destroying the channel before the woken
+  // receiver actually runs must not leave it reading freed state.
+  Simulator sim;
+  auto ch = std::make_unique<Channel<int>>(sim);
+  bool resumed = false;
+  sim.spawn([](Simulator&, Channel<int>& c, bool& flag) -> Process {
+    auto v = co_await c.recv();
+    EXPECT_FALSE(v.has_value());
+    flag = true;
+  }(sim, *ch, resumed));
+  sim.schedule_at(1.0, [&] {
+    ch->close();
+    ch.reset();  // freed before the close() wake-up event dispatches
+  });
+  sim.run();
+  EXPECT_TRUE(resumed);
 }
 
 TEST(Channel, TwoConsumersSplitWorkFifo) {

@@ -55,6 +55,11 @@ usage: prs_run [options]
   --cpu-only          disable the GPU backend
   --seed=S            RNG seed (default 42)
   --repeat=N          run the job N times, resetting counters in between
+  --fault-spec=SPEC   inject faults and run fault-tolerant, e.g.
+                      "gpu_hang:node1:t=2ms", "link_drop:*:p=0.01",
+                      "slow_node:node3:x4", "node_crash:node2:t=5ms";
+                      ';'-separated clauses compose (see DESIGN.md)
+  --fault-seed=S      seed of the fault injector's RNG streams (default 1)
   --trace=FILE        write a Chrome trace-event JSON timeline (open in
                       chrome://tracing or https://ui.perfetto.dev)
   --metrics=FILE      write runtime metrics (JSON if FILE ends in .json,
@@ -132,6 +137,11 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
            out.cpu_fraction <= 1.0;
     } else if (key == "seed") {
       ok = parse_u64(val, out.seed);
+    } else if (key == "fault-spec") {
+      out.fault_spec = val;
+      ok = !val.empty();
+    } else if (key == "fault-seed") {
+      ok = parse_u64(val, out.fault_seed);
     } else if (key == "repeat") {
       ok = parse_int(val, out.repeat) && out.repeat >= 1;
     } else if (key == "trace") {

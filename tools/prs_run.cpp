@@ -28,6 +28,8 @@
 #include "core/cluster.hpp"
 #include "core/schedule_policy.hpp"
 #include "data/dataset.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "tools/cli_options.hpp"
@@ -63,6 +65,32 @@ void print_stats(const core::JobStats& s, int nodes) {
         s.shuffle_time / phases * 100, s.reduce_time / phases * 100,
         s.gather_time / phases * 100);
   }
+}
+
+void print_fault_summary(const fault::FaultInjector& inj,
+                         const core::JobStats& s) {
+  const auto& st = inj.stats();
+  std::printf("\n-- fault injection --\n");
+  std::printf("plan                %s (seed %llu)\n",
+              inj.plan().summary().c_str(),
+              static_cast<unsigned long long>(inj.seed()));
+  std::printf("injected            %llu hangs | %llu slowdowns | "
+              "%llu task errors | %llu drops | %llu delays | %llu dups\n",
+              static_cast<unsigned long long>(st.hangs),
+              static_cast<unsigned long long>(st.slowdowns),
+              static_cast<unsigned long long>(st.task_errors),
+              static_cast<unsigned long long>(st.drops),
+              static_cast<unsigned long long>(st.delays),
+              static_cast<unsigned long long>(st.duplicates));
+  std::printf("tolerated           %llu retries | %llu speculations "
+              "(%llu won) | %llu duplicates discarded | %llu retransmits\n",
+              static_cast<unsigned long long>(s.task_retries),
+              static_cast<unsigned long long>(s.speculations),
+              static_cast<unsigned long long>(s.speculative_wins),
+              static_cast<unsigned long long>(s.double_completions),
+              static_cast<unsigned long long>(s.retransmits));
+  std::printf("degradation         %d node(s) blacklisted, %d job attempt(s)\n",
+              s.blacklisted_nodes, s.job_attempts);
 }
 
 /// Per-node utilization: busy time and link traffic from each FatNode's
@@ -187,8 +215,13 @@ core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
     auto corpus = std::make_shared<const apps::Corpus>(
         apps::generate_corpus(rng, opt.points, 8, 5000));
     auto counts = apps::wordcount_prs(cluster, corpus, cfg, &stats);
-    std::printf("wordcount: %zu lines -> %zu distinct words\n", opt.points,
-                counts.size());
+    unsigned long long total = 0;
+    for (const auto& [w, c] : counts) total += c;
+    // Deterministic one-line digest of the result (CI diffs this line
+    // between fault-free and fault-injected runs).
+    std::printf("wordcount result: %zu lines, %zu distinct words, "
+                "%llu total occurrences\n",
+                opt.points, counts.size(), total);
   } else {
     throw InvalidArgument("unknown --app=" + opt.app + " (try --list)");
   }
@@ -210,10 +243,20 @@ int run(const tools::Options& opt) {
   cfg.policy = policy.get();
   Rng rng(opt.seed);
 
+  // Fault injection: parse the spec into a plan and attach the injector to
+  // the job config; run_job then takes the fault-tolerant path.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!opt.fault_spec.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        sim, fault::FaultPlan::parse(opt.fault_spec), opt.fault_seed);
+    cfg.faults = injector.get();
+  }
+
   for (int rep = 0; rep < opt.repeat; ++rep) {
     if (opt.repeat > 1) std::printf("\n=== run %d/%d ===\n", rep + 1, opt.repeat);
     core::JobStats stats = run_app(opt, cluster, node, cfg, rng);
     print_stats(stats, opt.nodes);
+    if (injector != nullptr) print_fault_summary(*injector, stats);
     print_node_table(cluster, stats.elapsed);
     if (const auto* ap =
             dynamic_cast<const core::AdaptiveFeedbackPolicy*>(policy.get())) {
@@ -231,17 +274,30 @@ int run(const tools::Options& opt) {
     if (rep + 1 < opt.repeat) cluster.reset_counters();
   }
 
+  // Export failures (unwritable path, full disk) must not discard the
+  // results already printed above: report to stderr and exit nonzero.
+  int rc = 0;
   if (!opt.trace_path.empty()) {
-    obs::export_chrome_trace(tracer, opt.trace_path);
-    std::printf("\ntrace written to %s (open in chrome://tracing or "
-                "https://ui.perfetto.dev)\n",
-                opt.trace_path.c_str());
+    try {
+      obs::export_chrome_trace(tracer, opt.trace_path);
+      std::printf("\ntrace written to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  opt.trace_path.c_str());
+    } catch (const prs::Error& e) {
+      std::fprintf(stderr, "error: trace export failed: %s\n", e.what());
+      rc = 1;
+    }
   }
   if (!opt.metrics_path.empty()) {
-    obs::export_metrics(tracer.metrics(), opt.metrics_path);
-    std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+    try {
+      obs::export_metrics(tracer.metrics(), opt.metrics_path);
+      std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+    } catch (const prs::Error& e) {
+      std::fprintf(stderr, "error: metrics export failed: %s\n", e.what());
+      rc = 1;
+    }
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace
