@@ -16,6 +16,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace prs::bench {
 
@@ -32,6 +33,10 @@ inline void print_header(const std::string& title, const std::string& note) {
   if (const char* dir = trace_dir()) {
     std::printf("tracing: timelines + metrics -> %s/cluster<N>.json\n", dir);
   }
+  // Wall-clock numbers depend on the host pool size; virtual-clock results
+  // never do (the pool is byte-deterministic for any thread count).
+  std::printf("host threads: %d (PRS_HOST_THREADS overrides)\n",
+              exec::ThreadPool::instance().threads());
   std::printf("================================================================\n");
 }
 

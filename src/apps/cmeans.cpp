@@ -5,10 +5,16 @@
 
 #include "common/error.hpp"
 #include "core/calibration.hpp"
+#include "exec/parallel.hpp"
 #include "linalg/blas.hpp"
 
 namespace prs::apps {
 namespace {
+
+/// Host-pool grain for the per-point map loop: ~M*D*5 flops per point, so
+/// 256 points amortize the chunk hand-off at the smallest paper shapes
+/// while still splitting test-sized inputs across cores.
+constexpr std::size_t kMapGrain = 256;
 
 /// Membership weights u_ij^m of one point against all centers (Eq (13)).
 /// Returns the per-cluster weights and accumulates the J_m contribution.
@@ -22,18 +28,22 @@ void fuzzy_weights(std::span<const double> x, const linalg::MatrixD& centers,
   // Squared distances to every center.
   static thread_local std::vector<double> dist2;
   dist2.assign(m, 0.0);
-  bool exact_hit = false;
-  std::size_t hit = 0;
+  std::size_t hits = 0;
   for (std::size_t j = 0; j < m; ++j) {
     dist2[j] = linalg::squared_distance<double>(x, {centers.row(j), d});
-    if (dist2[j] == 0.0) {
-      exact_hit = true;
-      hit = j;
-    }
+    if (dist2[j] == 0.0) ++hits;
   }
-  if (exact_hit) {
-    // Point coincides with a center: full membership there (limit case).
-    weights[hit] = 1.0;
+  if (hits > 0) {
+    // Point coincides with one or more centers (duplicated centers happen
+    // with random initialization): the Eq (13) limit splits membership
+    // equally across the tied centers, u_ij = 1/T each — not membership
+    // 1.0 on whichever zero-distance center the scan saw last. The stored
+    // weight is u^m for Eq (14); the J_m contribution is 0 either way.
+    const double u = 1.0 / static_cast<double>(hits);
+    const double w = std::pow(u, fuzziness);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (dist2[j] == 0.0) weights[j] = w;
+    }
     return;
   }
 
@@ -51,15 +61,14 @@ void fuzzy_weights(std::span<const double> x, const linalg::MatrixD& centers,
   }
 }
 
-/// Accumulates one slice of points into per-cluster partials:
-/// partial[j] = [sum_i u^m x_i (D), sum_i u^m, J_m partial].
-void accumulate_slice(const linalg::MatrixD& points,
+/// Serial accumulation of points [begin, end) into zero-initialized
+/// per-cluster partials — the per-chunk body of cmeans_accumulate.
+void accumulate_range(const linalg::MatrixD& points,
                       const linalg::MatrixD& centers, double fuzziness,
                       std::size_t begin, std::size_t end,
                       std::vector<std::vector<double>>& partials) {
   const std::size_t m = centers.rows();
   const std::size_t d = centers.cols();
-  partials.assign(m, std::vector<double>(d + 2, 0.0));
   std::vector<double> weights;
   for (std::size_t i = begin; i < end; ++i) {
     double objective = 0.0;
@@ -133,6 +142,34 @@ void validate_params(const linalg::MatrixD& points,
 
 }  // namespace
 
+void cmeans_accumulate(const linalg::MatrixD& points,
+                       const linalg::MatrixD& centers, double fuzziness,
+                       std::size_t begin, std::size_t end,
+                       std::vector<std::vector<double>>& partials) {
+  const std::size_t m = centers.rows();
+  const std::size_t d = centers.cols();
+  using Partials = std::vector<std::vector<double>>;
+  if (begin >= end) {
+    partials.assign(m, std::vector<double>(d + 2, 0.0));
+    return;
+  }
+  // Fixed chunking + fixed-order tree combine (exec/parallel.hpp): the
+  // same bytes come out for any host thread count.
+  partials = exec::parallel_reduce(
+      begin, end, kMapGrain, Partials{},
+      [&](std::size_t b, std::size_t e, Partials acc) {
+        acc.assign(m, std::vector<double>(d + 2, 0.0));
+        accumulate_range(points, centers, fuzziness, b, e, acc);
+        return acc;
+      },
+      [](Partials a, Partials b) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+          for (std::size_t c = 0; c < a[j].size(); ++c) a[j][c] += b[j][c];
+        }
+        return a;
+      });
+}
+
 linalg::MatrixD initial_centers(const linalg::MatrixD& points, int clusters,
                                 std::uint64_t seed) {
   Rng rng(seed);
@@ -162,8 +199,8 @@ CmeansResult cmeans_serial(const linalg::MatrixD& points,
 
   std::vector<std::vector<double>> partials;
   for (int iter = 0; iter < params.max_iterations; ++iter) {
-    accumulate_slice(points, res.centers, params.fuzziness, 0, points.rows(),
-                     partials);
+    cmeans_accumulate(points, res.centers, params.fuzziness, 0,
+                      points.rows(), partials);
     res.objective =
         partials[0][points.cols() + 1];
     const double move = update_centers(res.centers, partials);
@@ -194,8 +231,8 @@ CmeansSpec cmeans_spec(std::shared_ptr<CmeansState> state,
   spec.cpu_map = [state](const core::InputSlice& s,
                          core::Emitter<int, std::vector<double>>& e) {
     std::vector<std::vector<double>> partials;
-    accumulate_slice(*state->points, state->centers, state->fuzziness,
-                     s.begin, s.end, partials);
+    cmeans_accumulate(*state->points, state->centers, state->fuzziness,
+                      s.begin, s.end, partials);
     for (std::size_t j = 0; j < partials.size(); ++j) {
       e.emit(static_cast<int>(j), std::move(partials[j]));
     }

@@ -82,6 +82,17 @@ CmeansResult cmeans_prs(core::Cluster& cluster,
 linalg::MatrixD initial_centers(const linalg::MatrixD& points, int clusters,
                                 std::uint64_t seed);
 
+/// The map kernel: accumulates points [begin, end) into per-cluster
+/// partials [weighted x sums (D), weight sum, objective partial]. Runs on
+/// the host thread pool (exec/parallel.hpp) with fixed chunking, so the
+/// result is byte-identical for any PRS_HOST_THREADS. Exposed for the
+/// host-threads ablation bench, the pthread baseline and the Eq (13)
+/// limit-case regression tests.
+void cmeans_accumulate(const linalg::MatrixD& points,
+                       const linalg::MatrixD& centers, double fuzziness,
+                       std::size_t begin, std::size_t end,
+                       std::vector<std::vector<double>>& partials);
+
 /// Paper-scale run in ExecutionMode::kModeled: charges the full workload's
 /// virtual time without materializing the point matrix (benches for
 /// Table 3 / Figure 6). Always runs exactly params.max_iterations rounds.

@@ -2,9 +2,16 @@
 
 #include "common/error.hpp"
 #include "core/calibration.hpp"
+#include "exec/parallel.hpp"
 #include "linalg/blas.hpp"
 
 namespace prs::apps {
+namespace {
+
+/// Host-pool grain for the A-block staging copy (memory bound).
+constexpr std::size_t kCopyGrain = 64;
+
+}  // namespace
 
 double dgemm_block_ai(double block_rows, std::size_t k, std::size_t n) {
   PRS_REQUIRE(block_rows > 0.0, "block must be non-empty");
@@ -30,13 +37,17 @@ DgemmSpec dgemm_spec(std::shared_ptr<DgemmState> state, std::size_t k,
     const auto& a = *state->a;
     const auto& b = *state->b;
     // Compute the C block for rows [s.begin, s.end) with the blocked
-    // kernel (the "MKL path"); the CUDA path would call cuBLAS.
+    // kernel (the "MKL path"); the CUDA path would call cuBLAS. Both the
+    // staging copy and gemm_blocked itself run on the host thread pool.
     linalg::MatrixD a_block(s.size(), a.cols());
-    for (std::size_t r = s.begin; r < s.end; ++r) {
-      for (std::size_t c = 0; c < a.cols(); ++c) {
-        a_block(r - s.begin, c) = a(r, c);
-      }
-    }
+    exec::parallel_for(s.begin, s.end, kCopyGrain,
+                       [&](std::size_t rb, std::size_t re) {
+                         for (std::size_t r = rb; r < re; ++r) {
+                           for (std::size_t c = 0; c < a.cols(); ++c) {
+                             a_block(r - s.begin, c) = a(r, c);
+                           }
+                         }
+                       });
     linalg::MatrixD c_block(s.size(), b.cols(), 0.0);
     linalg::gemm_blocked(1.0, a_block, b, 0.0, c_block);
     e.emit(static_cast<long>(s.begin), std::move(c_block));

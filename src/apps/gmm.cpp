@@ -7,9 +7,14 @@
 #include "apps/cmeans.hpp"  // initial_centers
 #include "common/error.hpp"
 #include "core/calibration.hpp"
+#include "exec/parallel.hpp"
 
 namespace prs::apps {
 namespace {
+
+/// Host-pool grain: ~11*M*D flops per point (log/exp heavy) — 128 points
+/// per chunk amortize the hand-off comfortably.
+constexpr std::size_t kMapGrain = 128;
 
 /// log N(x | mu_m, diag(var_m)) for one point/component (Eq (15), diagonal).
 double log_gaussian(std::span<const double> x, const linalg::MatrixD& means,
@@ -30,12 +35,11 @@ double log_gaussian(std::span<const double> x, const linalg::MatrixD& means,
 /// E-step + partial M-step sums over a slice.
 /// partial[m] = [sum_i r_im, sum_i r_im x_i (D), sum_i r_im x_i^2 (D),
 ///               loglik partial] (loglik accounted on component 0).
-void accumulate_slice(const linalg::MatrixD& points, const GmmModel& model,
+void accumulate_range(const linalg::MatrixD& points, const GmmModel& model,
                       std::size_t begin, std::size_t end,
                       std::vector<std::vector<double>>& partials) {
   const std::size_t m = model.means.rows();
   const std::size_t d = model.means.cols();
-  partials.assign(m, std::vector<double>(2 * d + 2, 0.0));
 
   std::vector<double> logp(m);
   for (std::size_t i = begin; i < end; ++i) {
@@ -63,6 +67,34 @@ void accumulate_slice(const linalg::MatrixD& points, const GmmModel& model,
       }
     }
   }
+}
+
+/// E-step + partial M-step over [begin, end) on the host thread pool —
+/// fixed chunking and fixed-order combine make the result byte-identical
+/// for any thread count (exec/parallel.hpp).
+void accumulate_slice(const linalg::MatrixD& points, const GmmModel& model,
+                      std::size_t begin, std::size_t end,
+                      std::vector<std::vector<double>>& partials) {
+  const std::size_t m = model.means.rows();
+  const std::size_t d = model.means.cols();
+  using Partials = std::vector<std::vector<double>>;
+  if (begin >= end) {
+    partials.assign(m, std::vector<double>(2 * d + 2, 0.0));
+    return;
+  }
+  partials = exec::parallel_reduce(
+      begin, end, kMapGrain, Partials{},
+      [&](std::size_t b, std::size_t e, Partials acc) {
+        acc.assign(m, std::vector<double>(2 * d + 2, 0.0));
+        accumulate_range(points, model, b, e, acc);
+        return acc;
+      },
+      [](Partials a, Partials b) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+          for (std::size_t c = 0; c < a[j].size(); ++c) a[j][c] += b[j][c];
+        }
+        return a;
+      });
 }
 
 /// M-step from global partials; returns the data log-likelihood.

@@ -7,10 +7,15 @@
 #include "apps/cmeans.hpp"  // initial_centers
 #include "common/error.hpp"
 #include "core/calibration.hpp"
+#include "exec/parallel.hpp"
 #include "linalg/blas.hpp"
 
 namespace prs::apps {
 namespace {
+
+/// Host-pool grain: ~3*M*D flops per point; 512-point chunks amortize the
+/// hand-off on the cheapest shapes.
+constexpr std::size_t kMapGrain = 512;
 
 int nearest_center(std::span<const double> x, const linalg::MatrixD& centers,
                    double& dist2_out) {
@@ -29,14 +34,13 @@ int nearest_center(std::span<const double> x, const linalg::MatrixD& centers,
   return arg;
 }
 
-/// Per-cluster partials over a slice: [sum x (D), count, inertia].
-void accumulate_slice(const linalg::MatrixD& points,
+/// Serial per-chunk body: accumulates [begin, end) into zero-initialized
+/// per-cluster partials [sum x (D), count, inertia].
+void accumulate_range(const linalg::MatrixD& points,
                       const linalg::MatrixD& centers, std::size_t begin,
                       std::size_t end,
                       std::vector<std::vector<double>>& partials) {
-  const std::size_t m = centers.rows();
   const std::size_t d = centers.cols();
-  partials.assign(m, std::vector<double>(d + 2, 0.0));
   for (std::size_t i = begin; i < end; ++i) {
     double d2 = 0.0;
     const int j = nearest_center({points.row(i), d}, centers, d2);
@@ -46,6 +50,34 @@ void accumulate_slice(const linalg::MatrixD& points,
     p[d] += 1.0;
     partials[0][d + 1] += d2;  // inertia accounted on cluster 0
   }
+}
+
+/// Parallel map over a slice on the host pool; fixed chunking + fixed-order
+/// combine keep the bytes identical for any thread count.
+void accumulate_slice(const linalg::MatrixD& points,
+                      const linalg::MatrixD& centers, std::size_t begin,
+                      std::size_t end,
+                      std::vector<std::vector<double>>& partials) {
+  const std::size_t m = centers.rows();
+  const std::size_t d = centers.cols();
+  using Partials = std::vector<std::vector<double>>;
+  if (begin >= end) {
+    partials.assign(m, std::vector<double>(d + 2, 0.0));
+    return;
+  }
+  partials = exec::parallel_reduce(
+      begin, end, kMapGrain, Partials{},
+      [&](std::size_t b, std::size_t e, Partials acc) {
+        acc.assign(m, std::vector<double>(d + 2, 0.0));
+        accumulate_range(points, centers, b, e, acc);
+        return acc;
+      },
+      [](Partials a, Partials b) {
+        for (std::size_t j = 0; j < a.size(); ++j) {
+          for (std::size_t c = 0; c < a[j].size(); ++c) a[j][c] += b[j][c];
+        }
+        return a;
+      });
 }
 
 double update_centers(linalg::MatrixD& centers,

@@ -4,9 +4,13 @@
 
 #include "common/error.hpp"
 #include "core/calibration.hpp"
+#include "exec/parallel.hpp"
 
 namespace prs::apps {
 namespace {
+
+/// Host-pool grain: one row is ~5*cols flops; 64 rows per chunk.
+constexpr std::size_t kRowGrain = 64;
 
 void validate_grid(const linalg::MatrixD& grid) {
   PRS_REQUIRE(grid.rows() >= 3 && grid.cols() >= 3,
@@ -19,20 +23,27 @@ double relax_rows(const linalg::MatrixD& in, std::size_t begin,
                   std::size_t end, std::vector<double>& out) {
   const std::size_t cols = in.cols();
   out.assign((end - begin) * cols, 0.0);
-  double max_update = 0.0;
-  for (std::size_t r = begin; r < end; ++r) {
-    double* row_out = out.data() + (r - begin) * cols;
-    // Boundary columns stay fixed.
-    row_out[0] = in(r, 0);
-    row_out[cols - 1] = in(r, cols - 1);
-    for (std::size_t c = 1; c + 1 < cols; ++c) {
-      const double v = 0.25 * (in(r - 1, c) + in(r + 1, c) + in(r, c - 1) +
-                               in(r, c + 1));
-      row_out[c] = v;
-      max_update = std::max(max_update, std::fabs(v - in(r, c)));
-    }
-  }
-  return max_update;
+  // Jacobi reads only the previous grid: every output row is disjoint and
+  // max() is exact, so the host-pool version is byte-identical to the
+  // serial sweep for any thread count.
+  return exec::parallel_reduce(
+      begin, end, kRowGrain, 0.0,
+      [&](std::size_t rb, std::size_t re, double max_update) {
+        for (std::size_t r = rb; r < re; ++r) {
+          double* row_out = out.data() + (r - begin) * cols;
+          // Boundary columns stay fixed.
+          row_out[0] = in(r, 0);
+          row_out[cols - 1] = in(r, cols - 1);
+          for (std::size_t c = 1; c + 1 < cols; ++c) {
+            const double v = 0.25 * (in(r - 1, c) + in(r + 1, c) +
+                                     in(r, c - 1) + in(r, c + 1));
+            row_out[c] = v;
+            max_update = std::max(max_update, std::fabs(v - in(r, c)));
+          }
+        }
+        return max_update;
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "baselines/cmeans_baselines.hpp"
 
+#include <thread>
+
 #include "apps/cmeans.hpp"
 #include "core/calibration.hpp"
 #include "simtime/process.hpp"
@@ -131,6 +133,39 @@ double cmeans_mpi_cpu(const CmeansWorkload& w, const core::NodeConfig& node) {
   sim.run();
   PRS_CHECK(*remaining == 0, "MPI/CPU ranks did not finish");
   return sim.now() - t0;
+}
+
+double cmeans_raw_thread_map(const linalg::MatrixD& points,
+                             const linalg::MatrixD& centers,
+                             double fuzziness, int threads) {
+  PRS_REQUIRE(threads >= 1, "need at least one thread");
+  const std::size_t n = points.rows();
+  const auto t = static_cast<std::size_t>(threads);
+  std::vector<std::vector<std::vector<double>>> partials(t);
+  // Static split, one slice per thread — the paper's pthread CPU daemon.
+  // Each thread runs the real serial kernel over its slice; no chunking,
+  // no stealing, so results depend on the split (wall-clock baseline only).
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(t);
+    for (std::size_t w = 0; w < t; ++w) {
+      pool.emplace_back([&, w] {
+        const std::size_t begin = n * w / t;
+        const std::size_t end = n * (w + 1) / t;
+        // The caller must size the process pool to one thread while timing
+        // this baseline (bench_ablation_host_threads does), so the slice
+        // runs serially in-thread instead of routing back through the pool.
+        apps::cmeans_accumulate(points, centers, fuzziness, begin, end,
+                                partials[w]);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  double objective = 0.0;
+  for (const auto& p : partials) {
+    if (!p.empty()) objective += p[0].back();
+  }
+  return objective;
 }
 
 double cmeans_mahout(const CmeansWorkload& w) {

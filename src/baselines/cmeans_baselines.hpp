@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "core/cluster.hpp"
+#include "linalg/matrix.hpp"
 
 namespace prs::baselines {
 
@@ -35,5 +36,18 @@ double cmeans_mpi_cpu(const CmeansWorkload& w, const core::NodeConfig& node);
 
 /// Virtual elapsed seconds of the Mahout-on-Hadoop implementation.
 double cmeans_mahout(const CmeansWorkload& w);
+
+/// *Wall-clock* reference for the host thread pool: one real C-means map
+/// sweep (Eq 13 weights + Eq 14 partial sums over all points) executed by
+/// `threads` raw std::threads over a fixed static split — the paper's
+/// "one pthread per CPU core" CPU-daemon structure with no pool, no
+/// stealing, no fixed chunking. bench_ablation_host_threads compares
+/// exec::ThreadPool against this to price the pool's determinism
+/// machinery. The caller must configure the process pool to one thread
+/// while timing this, or each raw thread re-enters the pool. Returns the
+/// summed J_m objective so the work cannot be optimized away.
+double cmeans_raw_thread_map(const linalg::MatrixD& points,
+                             const linalg::MatrixD& centers,
+                             double fuzziness, int threads);
 
 }  // namespace prs::baselines

@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "obs/export.hpp"
+#include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace prs::core {
@@ -43,6 +44,9 @@ Cluster::~Cluster() {
   try {
     obs::export_chrome_trace(*env_tracer_, env_trace_path_ + ".json");
     if (!env_tracer_->metrics().empty()) {
+      // Runs that recorded metrics also get the host pool's exec.pool.*
+      // snapshot (not byte-reproducible — see obs/pool_metrics.hpp).
+      obs::record_pool_metrics(env_tracer_->metrics());
       obs::export_metrics(env_tracer_->metrics(),
                           env_trace_path_ + ".metrics.csv");
     }

@@ -1,0 +1,125 @@
+// Deterministic parallel-for / parallel-reduce on top of exec::ThreadPool.
+//
+// The determinism contract (DESIGN.md "Host execution"):
+//   * A range [begin, end) with grain g is decomposed into
+//     ceil(n / g) fixed chunks — chunk i covers
+//     [begin + i*g, min(begin + (i+1)*g, end)). The decomposition depends
+//     only on (n, g), never on the thread count.
+//   * parallel_reduce evaluates one partial per chunk (body applied to a
+//     copy of the identity) and combines the partials with a fixed-shape
+//     binary tree in ascending chunk order. Which thread computed a partial
+//     is irrelevant; the combination tree is the same for 1 thread and 64.
+//   * Exceptions escaping a chunk body are rethrown at the call site; when
+//     several chunks throw, the lowest chunk index wins (deterministic).
+//
+// Grain-size choice mirrors the paper's MinBs floor for GPU blocks
+// (DESIGN.md): chunks must be big enough to amortize hand-off, small enough
+// to load-balance. Call sites pass an explicit per-kernel grain; the
+// kDefaultGrain fallback suits O(100 flop)/item loops.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace prs::exec {
+
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+/// Number of fixed chunks for a range of `n` items at grain `g`.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  PRS_REQUIRE(grain > 0, "parallel grain must be positive");
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+namespace detail {
+
+template <typename Body>
+class ForJob final : public ParallelJob {
+ public:
+  ForJob(std::size_t begin, std::size_t end, std::size_t grain, Body& body)
+      : ParallelJob(chunk_count(end - begin, grain)),
+        begin_(begin),
+        end_(end),
+        grain_(grain),
+        body_(body) {}
+
+  void run_chunk(std::size_t chunk) override {
+    const std::size_t cb = begin_ + chunk * grain_;
+    const std::size_t ce = cb + grain_ < end_ ? cb + grain_ : end_;
+    body_(cb, ce);
+  }
+
+ private:
+  std::size_t begin_, end_, grain_;
+  Body& body_;
+};
+
+template <typename T, typename Body>
+class ReduceJob final : public ParallelJob {
+ public:
+  ReduceJob(std::size_t begin, std::size_t end, std::size_t grain,
+            const T& identity, Body& body, std::vector<T>& partials)
+      : ParallelJob(chunk_count(end - begin, grain)),
+        begin_(begin),
+        end_(end),
+        grain_(grain),
+        identity_(identity),
+        body_(body),
+        partials_(partials) {}
+
+  void run_chunk(std::size_t chunk) override {
+    const std::size_t cb = begin_ + chunk * grain_;
+    const std::size_t ce = cb + grain_ < end_ ? cb + grain_ : end_;
+    partials_[chunk] = body_(cb, ce, identity_);
+  }
+
+ private:
+  std::size_t begin_, end_, grain_;
+  const T& identity_;
+  Body& body_;
+  std::vector<T>& partials_;
+};
+
+}  // namespace detail
+
+/// Runs body(chunk_begin, chunk_end) over every fixed chunk of
+/// [begin, end). The body must only write state disjoint between chunks
+/// (e.g. output rows indexed by the chunk's range).
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  if (begin >= end) return;
+  detail::ForJob<Body> job(begin, end, grain, body);
+  ThreadPool::instance().run(job);
+}
+
+/// Reduces [begin, end): per fixed chunk evaluates
+/// partial = body(chunk_begin, chunk_end, identity) and combines the
+/// partials with combine(left, right) in a fixed ascending-index binary
+/// tree. Returns identity for an empty range.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, Body&& body, Combine&& combine) {
+  if (begin >= end) return identity;
+  const std::size_t chunks = chunk_count(end - begin, grain);
+  std::vector<T> partials(chunks, identity);
+  detail::ReduceJob<T, Body> job(begin, end, grain, identity, body, partials);
+  ThreadPool::instance().run(job);
+
+  // Fixed-shape tree fold: combine partials (i, i+stride) in ascending
+  // order, doubling the stride — the same association for every thread
+  // count (and byte-identical to running the chunks serially).
+  for (std::size_t stride = 1; stride < chunks; stride *= 2) {
+    for (std::size_t i = 0; i + stride < chunks; i += 2 * stride) {
+      partials[i] = combine(std::move(partials[i]),
+                            std::move(partials[i + stride]));
+    }
+  }
+  return std::move(partials[0]);
+}
+
+}  // namespace prs::exec

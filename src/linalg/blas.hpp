@@ -9,6 +9,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "exec/parallel.hpp"
 #include "linalg/matrix.hpp"
 
 namespace prs::linalg {
@@ -29,12 +30,36 @@ T dot(std::span<const T> x, std::span<const T> y) {
   return acc;
 }
 
-/// Euclidean norm. Flops: 2n (+1 sqrt).
+/// Euclidean norm. Flops: 2n (+1 sqrt) — the scaling divides below are
+/// bookkeeping, not counted, matching LAPACK's dnrm2 convention.
+///
+/// Scaled accumulation (LAPACK dnrm2 style): tracks the running maximum
+/// magnitude `scale` and accumulates sum((x_i/scale)^2), so inputs near
+/// 1e200 no longer overflow to inf when squared and inputs near 1e-200 no
+/// longer underflow to 0.
 template <typename T>
 T nrm2(std::span<const T> x) {
-  T acc{};
-  for (const T v : x) acc += v * v;
-  return std::sqrt(acc);
+  T scale{};   // largest |x_i| seen so far
+  T ssq{1};    // sum of (x_i / scale)^2
+  bool any = false;
+  for (const T v : x) {
+    if (v == T{}) continue;
+    const T av = v < T{} ? -v : v;
+    if (!any) {
+      scale = av;
+      ssq = T{1};
+      any = true;
+    } else if (scale < av) {
+      const T r = scale / av;
+      ssq = T{1} + ssq * r * r;
+      scale = av;
+    } else {
+      const T r = av / scale;
+      ssq += r * r;
+    }
+  }
+  if (!any) return T{};
+  return scale * std::sqrt(ssq);
 }
 
 /// Squared Euclidean distance between two points. Flops: 3n.
@@ -92,6 +117,10 @@ constexpr double gemm_flops(double m, double n, double k) {
 }
 
 /// Blocked gemm (cache tiling); same result as gemm, same flop count.
+/// Row blocks of C are disjoint, so they run in parallel on the host
+/// thread pool; every C element is still produced by exactly one block in
+/// the same k0/j0 order, hence results are byte-identical to the serial
+/// loop for any thread count.
 template <typename T>
 void gemm_blocked(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
                   Matrix<T>& c, std::size_t block = 64) {
@@ -99,25 +128,32 @@ void gemm_blocked(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
   PRS_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
               "gemm: output shape mismatch");
   PRS_REQUIRE(block > 0, "block size must be positive");
-  for (auto& v : c.storage()) v *= beta;
   const std::size_t m = a.rows(), n = b.cols(), kk = a.cols();
-  for (std::size_t i0 = 0; i0 < m; i0 += block) {
-    const std::size_t i1 = std::min(i0 + block, m);
-    for (std::size_t k0 = 0; k0 < kk; k0 += block) {
-      const std::size_t k1 = std::min(k0 + block, kk);
-      for (std::size_t j0 = 0; j0 < n; j0 += block) {
-        const std::size_t j1 = std::min(j0 + block, n);
-        for (std::size_t i = i0; i < i1; ++i) {
-          T* crow = c.row(i);
-          for (std::size_t k = k0; k < k1; ++k) {
-            const T aik = alpha * a(i, k);
-            const T* brow = b.row(k);
-            for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+  const std::size_t row_blocks = (m + block - 1) / block;
+  exec::parallel_for(0, row_blocks, 1, [&](std::size_t rb0, std::size_t rb1) {
+    for (std::size_t rb = rb0; rb < rb1; ++rb) {
+      const std::size_t i0 = rb * block;
+      const std::size_t i1 = std::min(i0 + block, m);
+      for (std::size_t i = i0; i < i1; ++i) {
+        T* crow = c.row(i);
+        for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+      for (std::size_t k0 = 0; k0 < kk; k0 += block) {
+        const std::size_t k1 = std::min(k0 + block, kk);
+        for (std::size_t j0 = 0; j0 < n; j0 += block) {
+          const std::size_t j1 = std::min(j0 + block, n);
+          for (std::size_t i = i0; i < i1; ++i) {
+            T* crow = c.row(i);
+            for (std::size_t k = k0; k < k1; ++k) {
+              const T aik = alpha * a(i, k);
+              const T* brow = b.row(k);
+              for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 /// Transpose. No flops (data movement only).

@@ -1,0 +1,25 @@
+// Bridges the host thread pool's counters (exec/thread_pool.hpp) into a
+// MetricsRegistry as the "exec.pool.*" family, so pool occupancy and steal
+// behaviour land in the same CSV/JSON dumps as the virtual-clock metrics.
+//
+// Caveat, and the reason this is a separate opt-in call rather than
+// automatic recording: chunk/steal attribution depends on OS scheduling,
+// so unlike every other metric in the registry the exec.pool.* values are
+// *not* byte-reproducible across runs or host-thread counts. Exporters that
+// promise byte-identical output must not call this.
+#pragma once
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace prs::obs {
+
+/// Overwrites the "exec.pool.*" counters in `m` with a snapshot of `s`:
+/// jobs, nested_jobs, chunks, stolen_chunks, caller_chunks,
+/// lane_engagements, threads and occupancy (mean engaged-lane fraction).
+void record_pool_metrics(MetricsRegistry& m, const exec::PoolStats& s);
+
+/// Convenience overload: snapshots the process-wide pool.
+void record_pool_metrics(MetricsRegistry& m);
+
+}  // namespace prs::obs

@@ -159,6 +159,58 @@ TEST(CmeansCostModel, MatchesTable5Formulas) {
   EXPECT_DOUBLE_EQ(cmeans_flops_per_point(10, 100), 5000.0);
 }
 
+TEST(CmeansMapKernel, TiedZeroDistanceCentersSplitMembershipEqually) {
+  // Eq (13) limit case: a point sitting exactly on T coincident centers
+  // (duplicated centers happen with random initialization) has membership
+  // u = 1/T in each — not u = 1 on whichever tied center the scan saw
+  // last. With fuzziness m = 2 the stored Eq (14) weight is u^2 = 0.25.
+  linalg::MatrixD pts(1, 2);
+  pts(0, 0) = 1.0;
+  pts(0, 1) = 2.0;
+  linalg::MatrixD centers(3, 2);
+  centers(0, 0) = 1.0;
+  centers(0, 1) = 2.0;
+  centers(1, 0) = 1.0;  // duplicate of center 0, both on the point
+  centers(1, 1) = 2.0;
+  centers(2, 0) = 7.0;
+  centers(2, 1) = 9.0;
+
+  std::vector<std::vector<double>> partials;
+  cmeans_accumulate(pts, centers, 2.0, 0, 1, partials);
+
+  // Layout per cluster: [weighted x sums (D), weight sum, objective].
+  EXPECT_DOUBLE_EQ(partials[0][2], 0.25);
+  EXPECT_DOUBLE_EQ(partials[1][2], 0.25);
+  EXPECT_DOUBLE_EQ(partials[2][2], 0.0);  // far center gets nothing
+  EXPECT_DOUBLE_EQ(partials[0][0], 0.25 * 1.0);
+  EXPECT_DOUBLE_EQ(partials[0][1], 0.25 * 2.0);
+  EXPECT_DOUBLE_EQ(partials[1][0], 0.25 * 1.0);
+  EXPECT_DOUBLE_EQ(partials[1][1], 0.25 * 2.0);
+  EXPECT_DOUBLE_EQ(partials[0][3], 0.0);  // zero distance -> J_m adds 0
+
+  // Both tied centers stay exactly on the point after the Eq (14) update.
+  EXPECT_DOUBLE_EQ(partials[0][0] / partials[0][2], 1.0);
+  EXPECT_DOUBLE_EQ(partials[1][1] / partials[1][2], 2.0);
+}
+
+TEST(CmeansMapKernel, SingleZeroDistanceCenterKeepsFullMembership) {
+  // The unduplicated case must behave exactly as before the tie fix:
+  // the point belongs to its center with u = 1 (weight u^m = 1).
+  linalg::MatrixD pts(1, 2);
+  pts(0, 0) = 1.0;
+  pts(0, 1) = 2.0;
+  linalg::MatrixD centers(2, 2);
+  centers(0, 0) = 1.0;
+  centers(0, 1) = 2.0;
+  centers(1, 0) = 7.0;
+  centers(1, 1) = 9.0;
+
+  std::vector<std::vector<double>> partials;
+  cmeans_accumulate(pts, centers, 2.0, 0, 1, partials);
+  EXPECT_DOUBLE_EQ(partials[0][2], 1.0);
+  EXPECT_DOUBLE_EQ(partials[1][2], 0.0);
+}
+
 // -- K-means -----------------------------------------------------------------
 
 TEST(KmeansSerial, RecoversTwoObviousBlobs) {
@@ -408,6 +460,54 @@ TEST(WordCount, LowIntensityFavorsCpuHeavySplit) {
   core::JobStats stats;
   (void)wordcount_prs(cluster, corpus, JobConfig{}, &stats);
   EXPECT_GT(stats.cpu_flops, stats.gpu_flops);
+}
+
+TEST(WordCount, CostModelMeasuresTheActualCorpus) {
+  // The spec's per-item costs must come from the corpus really passed in
+  // (mean line/word length), not from a hardcoded words-per-line guess:
+  // a 40-words-per-line corpus models ~5x the per-line cost of an
+  // 8-words-per-line one and must shift the modeled virtual times.
+  // Enough lines that modeled per-item cost dominates per-task overhead.
+  Rng rng(11);
+  auto narrow =
+      std::make_shared<const Corpus>(generate_corpus(rng, 20000, 8, 500));
+  auto wide =
+      std::make_shared<const Corpus>(generate_corpus(rng, 20000, 40, 500));
+  auto mean_line_bytes = [](const Corpus& c) {
+    std::size_t bytes = 0;
+    for (const auto& line : c) bytes += line.size();
+    return static_cast<double>(bytes) / static_cast<double>(c.size());
+  };
+
+  auto s8 = wordcount_spec(narrow);
+  auto s40 = wordcount_spec(wide);
+  EXPECT_DOUBLE_EQ(s8.item_bytes, mean_line_bytes(*narrow));
+  EXPECT_DOUBLE_EQ(s40.item_bytes, mean_line_bytes(*wide));
+  EXPECT_DOUBLE_EQ(s8.cpu_flops_per_item, s8.item_bytes);
+  EXPECT_GT(s40.item_bytes, 3.0 * s8.item_bytes);
+  EXPECT_GT(s8.pair_bytes, 8.0);  // word text + 8-byte count
+
+  // Same line count, longer lines -> proportionally more modeled map time.
+  // CPU-only keeps the comparison clean of per-block GPU launch overhead,
+  // which is line-length independent and would mask the scaling.
+  JobConfig cfg;
+  cfg.mode = core::ExecutionMode::kModeled;
+  cfg.use_gpu = false;
+  core::JobStats st8, st40;
+  {
+    sim::Simulator simu;
+    Cluster cluster(simu, 2, NodeConfig{});
+    (void)wordcount_prs(cluster, narrow, cfg, &st8);
+  }
+  {
+    sim::Simulator simu;
+    Cluster cluster(simu, 2, NodeConfig{});
+    (void)wordcount_prs(cluster, wide, cfg, &st40);
+  }
+  // The calibrated per-iteration dispatch overhead (~kPrsIterationOverhead)
+  // is line-length independent and shared by both runs, so the ratio is
+  // damped well below the 5x byte ratio — but the per-byte part must show.
+  EXPECT_GT(st40.map_time, 1.15 * st8.map_time);
 }
 
 }  // namespace

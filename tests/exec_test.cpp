@@ -1,0 +1,239 @@
+// Host thread pool (src/exec): lifecycle, correctness of the parallel
+// wrappers, exception propagation, nested regions, and — the load-bearing
+// property — byte-identical app results for any thread count.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/cmeans.hpp"
+#include "apps/gmm.hpp"
+#include "apps/wordcount.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using namespace prs;
+
+/// Restores the pool's default sizing when a test scope ends, so thread
+/// counts forced by one test never leak into another.
+struct PoolGuard {
+  ~PoolGuard() { exec::ThreadPool::instance().configure(0); }
+};
+
+/// FNV-1a over raw double bytes — equality below means byte identity.
+std::uint64_t digest(std::uint64_t h, const double* p, std::size_t n) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n * sizeof(double); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(ThreadPool, ConfigureAndShutdownRoundTrip) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(3);
+  EXPECT_EQ(pool.threads(), 3);
+
+  std::vector<int> out(100, 0);
+  exec::parallel_for(0, out.size(), 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out[i] = static_cast<int>(i);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+
+  // Shut down, then run again: workers must restart lazily.
+  pool.shutdown();
+  long sum = exec::parallel_reduce(
+      1, 101, 9, 0L,
+      [](std::size_t b, std::size_t e, long acc) {
+        for (std::size_t i = b; i < e; ++i) acc += static_cast<long>(i);
+        return acc;
+      },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(sum, 5050);
+
+  pool.configure(0);
+  EXPECT_EQ(pool.threads(), exec::ThreadPool::default_threads());
+}
+
+TEST(ThreadPool, RejectsOutOfRangeConfiguration) {
+  auto& pool = exec::ThreadPool::instance();
+  EXPECT_THROW(pool.configure(-1), Error);
+  EXPECT_THROW(pool.configure(exec::ThreadPool::kMaxThreads + 1), Error);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  PoolGuard guard;
+  exec::ThreadPool::instance().configure(4);
+  int calls = 0;
+  exec::parallel_for(5, 5, 16, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(exec::parallel_reduce(
+                0, 1, 1024, 10,
+                [](std::size_t, std::size_t, int acc) { return acc + 1; },
+                [](int a, int b) { return a + b; }),
+            11);
+}
+
+TEST(ThreadPool, LowestChunkExceptionPropagates) {
+  PoolGuard guard;
+  exec::ThreadPool::instance().configure(4);
+  // Several chunks throw; the *first* failing chunk's exception must
+  // surface regardless of which worker hits which chunk first.
+  try {
+    exec::parallel_for(0, 1000, 10, [](std::size_t b, std::size_t) {
+      if (b >= 300) throw std::runtime_error("chunk@" + std::to_string(b));
+    });
+    FAIL() << "expected the body's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk@300");
+  }
+  // The pool must stay usable after a failed region.
+  std::atomic<int> ran{0};
+  exec::parallel_for(0, 100, 10,
+                     [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineAndStaySafe) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(4);
+  pool.reset_stats();
+  EXPECT_FALSE(exec::ThreadPool::in_parallel_region());
+
+  // 8 outer chunks x 32 inner items; the inner region must not deadlock
+  // and must see in_parallel_region() == true.
+  std::vector<int> out(8 * 32, 0);
+  std::atomic<int> inner_observed{0};
+  exec::parallel_for(0, 8, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      if (exec::ThreadPool::in_parallel_region()) ++inner_observed;
+      exec::parallel_for(0, 32, 4, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          out[o * 32 + i] = static_cast<int>(o * 32 + i);
+        }
+      });
+    }
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(inner_observed.load(), 8);
+  EXPECT_FALSE(exec::ThreadPool::in_parallel_region());
+
+  const exec::PoolStats s = pool.stats();
+  EXPECT_EQ(s.jobs, 1u);
+  EXPECT_EQ(s.nested_jobs, 8u);
+  EXPECT_EQ(s.chunks, 8u + 8u * 8u);  // outer chunks + 8 inner per outer
+}
+
+TEST(ThreadPool, StatsCountChunksAndOccupancy) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(2);
+  pool.reset_stats();
+  exec::parallel_for(0, 100, 10, [](std::size_t, std::size_t) {});
+  const exec::PoolStats s = pool.stats();
+  EXPECT_EQ(s.jobs, 1u);
+  EXPECT_EQ(s.chunks, 10u);
+  EXPECT_EQ(s.threads, 2);
+  EXPECT_GT(s.lane_engagements, 0u);
+  EXPECT_GE(s.occupancy(), 0.0);
+  EXPECT_LE(s.occupancy(), 1.0);
+  // Every chunk was either run by the caller or stolen-adjacent on a
+  // worker lane; the split varies, the total must not.
+  EXPECT_LE(s.caller_chunks, s.chunks);
+}
+
+TEST(ThreadPool, ReduceIsDeterministicAcrossThreadCounts) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  // Floating-point sum whose value depends on association order: the fixed
+  // chunk tree must give bit-equal results for every thread count.
+  Rng rng(7);
+  std::vector<double> xs(10001);
+  for (auto& x : xs) x = rng.uniform() * 1e6 - 5e5;
+
+  auto run = [&] {
+    return exec::parallel_reduce(
+        0, xs.size(), 64, 0.0,
+        [&](std::size_t b, std::size_t e, double acc) {
+          for (std::size_t i = b; i < e; ++i) acc += xs[i];
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  pool.configure(1);
+  const double ref = run();
+  for (int t : {2, 3, 8}) {
+    pool.configure(t);
+    for (int rep = 0; rep < 5; ++rep) {
+      const double got = run();
+      EXPECT_EQ(std::memcmp(&got, &ref, sizeof(double)), 0)
+          << "threads=" << t << " rep=" << rep;
+    }
+  }
+}
+
+/// The tentpole acceptance check: full app runs produce byte-identical
+/// results for 1, 2 and hardware_concurrency threads.
+TEST(ThreadPool, AppResultsAreByteIdenticalForAnyThreadCount) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+
+  Rng rng(42);
+  auto ds = data::generate_blobs(rng, 600, 8, 3, 10.0, 1.0);
+  auto corpus = std::make_shared<const apps::Corpus>(
+      apps::generate_corpus(rng, 400, 8, 200));
+
+  auto run_all = [&] {
+    std::uint64_t h = 1469598103934665603ULL;
+    apps::CmeansParams cp;
+    cp.clusters = 3;
+    cp.max_iterations = 8;
+    auto cm = apps::cmeans_serial(ds.points, cp);
+    h = digest(h, &cm.centers(0, 0), cm.centers.size());
+    h = digest(h, &cm.objective, 1);
+
+    apps::GmmParams gp;
+    gp.components = 3;
+    gp.max_iterations = 8;
+    auto gm = apps::gmm_serial(ds.points, gp);
+    h = digest(h, &gm.means(0, 0), gm.means.size());
+    h = digest(h, &gm.variances(0, 0), gm.variances.size());
+    h = digest(h, &gm.log_likelihood, 1);
+
+    // Wordcount through the parallel map kernel (integer counts).
+    auto spec = apps::wordcount_spec(corpus);
+    core::Emitter<std::string, long> em;
+    spec.cpu_map(core::InputSlice{0, corpus->size()}, em);
+    for (const auto& [w, c] : em.pairs()) {
+      for (const char ch : w) h = (h ^ static_cast<unsigned char>(ch)) *
+                                  1099511628211ULL;
+      const auto cd = static_cast<double>(c);
+      h = digest(h, &cd, 1);
+    }
+    return h;
+  };
+
+  pool.configure(1);
+  const std::uint64_t ref = run_all();
+  const int hw = exec::ThreadPool::default_threads();
+  for (int t : {2, hw}) {
+    pool.configure(t);
+    EXPECT_EQ(run_all(), ref) << "threads=" << t;
+  }
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Unit + property tests for the BLAS-subset kernels.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -57,6 +58,28 @@ TEST(Blas, Nrm2AndDistance) {
   EXPECT_DOUBLE_EQ(squared_distance(std::span<const double>(a),
                                     std::span<const double>(b)),
                    25.0);
+}
+
+TEST(Blas, Nrm2SurvivesOverflowProneInputs) {
+  // Naive sum-of-squares overflows to inf at 1e200 (1e400 > DBL_MAX); the
+  // dnrm2-style scaled accumulation must return the exact norm instead.
+  std::vector<double> big{3e200, 4e200};
+  EXPECT_DOUBLE_EQ(nrm2(std::span<const double>(big)), 5e200);
+  std::vector<double> same{1e200, 1e200};
+  EXPECT_DOUBLE_EQ(nrm2(std::span<const double>(same)),
+                   std::sqrt(2.0) * 1e200);
+}
+
+TEST(Blas, Nrm2SurvivesUnderflowProneInputs) {
+  // Naive squaring underflows 1e-200 to 0 (1e-400 < DBL_MIN) and loses the
+  // tiny component entirely; scaling keeps it.
+  std::vector<double> tiny{3e-200, 4e-200};
+  EXPECT_DOUBLE_EQ(nrm2(std::span<const double>(tiny)), 5e-200);
+  std::vector<double> mixed{1e-200, 0.0, -1e-200};
+  EXPECT_DOUBLE_EQ(nrm2(std::span<const double>(mixed)),
+                   std::sqrt(2.0) * 1e-200);
+  std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(nrm2(std::span<const double>(zeros)), 0.0);
 }
 
 TEST(Blas, GemvAgainstHandComputedValues) {

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstring>
 
+#include "exec/thread_pool.hpp"
+
 namespace prs::tools {
 namespace {
 
@@ -55,6 +57,10 @@ usage: prs_run [options]
   --cpu-only          disable the GPU backend
   --seed=S            RNG seed (default 42)
   --repeat=N          run the job N times, resetting counters in between
+  --host-threads=N    real host threads driving the numeric map kernels
+                      (default 0 = $PRS_HOST_THREADS, else all cores);
+                      results are byte-identical for any N
+
   --fault-spec=SPEC   inject faults and run fault-tolerant, e.g.
                       "gpu_hang:node1:t=2ms", "link_drop:*:p=0.01",
                       "slow_node:node3:x4", "node_crash:node2:t=5ms";
@@ -144,6 +150,9 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       ok = parse_u64(val, out.fault_seed);
     } else if (key == "repeat") {
       ok = parse_int(val, out.repeat) && out.repeat >= 1;
+    } else if (key == "host-threads") {
+      ok = parse_int(val, out.host_threads) && out.host_threads >= 0 &&
+           out.host_threads <= exec::ThreadPool::kMaxThreads;
     } else if (key == "trace") {
       out.trace_path = val;
       ok = !val.empty();

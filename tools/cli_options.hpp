@@ -33,6 +33,8 @@ struct Options {
   double cpu_fraction = -1.0;
   std::uint64_t seed = 42;
   int repeat = 1;            // run the job N times (counters reset between)
+  int host_threads = 0;      // real host threads for map kernels; 0 = auto
+                             // (PRS_HOST_THREADS / hardware_concurrency)
   std::string fault_spec;    // --fault-spec=...: fault clauses (fault_plan.hpp)
   std::uint64_t fault_seed = 1;  // seed of the injector's RNG streams
   std::string trace_path;    // --trace=FILE: Chrome trace-event JSON

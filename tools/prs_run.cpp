@@ -28,9 +28,11 @@
 #include "core/cluster.hpp"
 #include "core/schedule_policy.hpp"
 #include "data/dataset.hpp"
+#include "exec/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
+#include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
 #include "tools/cli_options.hpp"
 
@@ -64,6 +66,16 @@ void print_stats(const core::JobStats& s, int nodes) {
         s.startup_time / phases * 100, s.map_time / phases * 100,
         s.shuffle_time / phases * 100, s.reduce_time / phases * 100,
         s.gather_time / phases * 100);
+  }
+  const exec::PoolStats pool = exec::ThreadPool::instance().stats();
+  if (pool.jobs > 0) {
+    std::printf(
+        "host pool           %d thread(s) | %llu region(s) | %llu chunks "
+        "(%llu stolen) | occupancy %.0f%%\n",
+        pool.threads, static_cast<unsigned long long>(pool.jobs),
+        static_cast<unsigned long long>(pool.chunks),
+        static_cast<unsigned long long>(pool.stolen_chunks),
+        pool.occupancy() * 100.0);
   }
 }
 
@@ -229,6 +241,12 @@ core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
 }
 
 int run(const tools::Options& opt) {
+  // Size the real host pool before any kernel runs; 0 keeps the
+  // PRS_HOST_THREADS / hardware_concurrency default. Either way the
+  // numeric results are byte-identical (see DESIGN.md "Host execution").
+  if (opt.host_threads > 0) {
+    exec::ThreadPool::instance().configure(opt.host_threads);
+  }
   sim::Simulator sim;
   obs::TraceRecorder tracer(sim);
   const bool observing = !opt.trace_path.empty() || !opt.metrics_path.empty();
@@ -290,6 +308,7 @@ int run(const tools::Options& opt) {
   }
   if (!opt.metrics_path.empty()) {
     try {
+      obs::record_pool_metrics(tracer.metrics());
       obs::export_metrics(tracer.metrics(), opt.metrics_path);
       std::printf("metrics written to %s\n", opt.metrics_path.c_str());
     } catch (const prs::Error& e) {
