@@ -272,10 +272,39 @@ CmeansSpec cmeans_spec(std::shared_ptr<CmeansState> state,
   return spec;
 }
 
+ckpt::StateCodec cmeans_state_codec(std::shared_ptr<CmeansState> state,
+                                    double* objective, int* iterations) {
+  ckpt::StateCodec codec;
+  codec.tag = "cmeans";
+  codec.encode = [state, objective, iterations](ckpt::Writer& w) {
+    ckpt::put_matrix(w, state->centers);
+    w.f64(state->fuzziness);
+    w.f64(objective != nullptr ? *objective : 0.0);
+    w.i32(iterations != nullptr ? *iterations : 0);
+  };
+  codec.decode = [state, objective, iterations](ckpt::Reader& r) {
+    linalg::MatrixD centers;
+    ckpt::get_matrix(r, centers);
+    PRS_REQUIRE(centers.rows() == state->centers.rows() &&
+                    centers.cols() == state->centers.cols(),
+                "cmeans checkpoint centers shape does not match this run");
+    const double fuzziness = r.f64();
+    PRS_REQUIRE(fuzziness == state->fuzziness,
+                "cmeans checkpoint was taken with a different fuzziness");
+    state->centers = std::move(centers);
+    const double obj = r.f64();
+    const int iters = r.i32();
+    if (objective != nullptr) *objective = obj;
+    if (iterations != nullptr) *iterations = iters;
+  };
+  return codec;
+}
+
 CmeansResult cmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
                         const CmeansParams& params,
                         const core::JobConfig& cfg,
-                        core::JobStats* stats_out) {
+                        core::JobStats* stats_out,
+                        const ckpt::CheckpointConfig* checkpoint) {
   validate_params(points, params);
   const std::size_t d = points.cols();
 
@@ -302,10 +331,13 @@ CmeansResult cmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
     return move >= params.epsilon;
   };
 
+  const ckpt::StateCodec codec =
+      cmeans_state_codec(state, &res.objective, &res.iterations);
   auto iterative = core::run_iterative<int, std::vector<double>>(
       cluster, spec, cfg, points.rows(), params.max_iterations, on_iteration,
       /*state_bytes=*/static_cast<double>(params.clusters) *
-          static_cast<double>(d));
+          static_cast<double>(d),
+      checkpoint, checkpoint != nullptr ? &codec : nullptr);
 
   res.centers = state->centers;
   if (cfg.mode == core::ExecutionMode::kFunctional) {

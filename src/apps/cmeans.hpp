@@ -69,14 +69,24 @@ using CmeansSpec = core::MapReduceSpec<int, std::vector<double>>;
 CmeansSpec cmeans_spec(std::shared_ptr<CmeansState> state,
                        const CmeansParams& params, std::size_t dims);
 
+/// Checkpoint codec over the iteration-carried state: the centers matrix
+/// plus fuzziness (validated on restore) and, when the pointers are set,
+/// the running objective / iteration count so a resumed run reports them
+/// without recomputing.
+ckpt::StateCodec cmeans_state_codec(std::shared_ptr<CmeansState> state,
+                                    double* objective = nullptr,
+                                    int* iterations = nullptr);
+
 /// Runs distributed C-means on the cluster; numerically equivalent to
 /// cmeans_serial when cfg.mode == kFunctional (identical center updates in
-/// a different summation order).
+/// a different summation order). `checkpoint` (optional) enables the
+/// iterative driver's checkpoint/restart via cmeans_state_codec.
 CmeansResult cmeans_prs(core::Cluster& cluster,
                         const linalg::MatrixD& points,
                         const CmeansParams& params,
                         const core::JobConfig& cfg,
-                        core::JobStats* stats_out = nullptr);
+                        core::JobStats* stats_out = nullptr,
+                        const ckpt::CheckpointConfig* checkpoint = nullptr);
 
 /// Picks `clusters` distinct random points as initial centers.
 linalg::MatrixD initial_centers(const linalg::MatrixD& points, int clusters,

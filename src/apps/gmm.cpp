@@ -261,9 +261,46 @@ GmmSpec gmm_spec(std::shared_ptr<GmmState> state, const GmmParams& params,
   return spec;
 }
 
+ckpt::StateCodec gmm_state_codec(std::shared_ptr<GmmState> state) {
+  ckpt::StateCodec codec;
+  codec.tag = "gmm";
+  codec.encode = [state](ckpt::Writer& w) {
+    w.u64(state->model.weights.size());
+    for (double weight : state->model.weights) w.f64(weight);
+    ckpt::put_matrix(w, state->model.means);
+    ckpt::put_matrix(w, state->model.variances);
+    w.f64(state->model.log_likelihood);
+    w.i32(state->model.iterations);
+    w.f64(state->min_variance);
+  };
+  codec.decode = [state](ckpt::Reader& r) {
+    GmmModel model;
+    const std::uint64_t m = r.u64();
+    PRS_REQUIRE(m == state->model.weights.size(),
+                "gmm checkpoint component count does not match this run");
+    model.weights.resize(m);
+    for (auto& weight : model.weights) weight = r.f64();
+    ckpt::get_matrix(r, model.means);
+    ckpt::get_matrix(r, model.variances);
+    PRS_REQUIRE(model.means.rows() == state->model.means.rows() &&
+                    model.means.cols() == state->model.means.cols() &&
+                    model.variances.rows() == state->model.variances.rows() &&
+                    model.variances.cols() == state->model.variances.cols(),
+                "gmm checkpoint model shape does not match this run");
+    model.log_likelihood = r.f64();
+    model.iterations = r.i32();
+    const double min_variance = r.f64();
+    PRS_REQUIRE(min_variance == state->min_variance,
+                "gmm checkpoint was taken with a different min_variance");
+    state->model = std::move(model);
+  };
+  return codec;
+}
+
 GmmModel gmm_prs(core::Cluster& cluster, const linalg::MatrixD& points,
                  const GmmParams& params, const core::JobConfig& cfg,
-                 core::JobStats* stats_out) {
+                 core::JobStats* stats_out,
+                 const ckpt::CheckpointConfig* checkpoint) {
   validate_params(points, params);
   const std::size_t d = points.cols();
 
@@ -293,9 +330,10 @@ GmmModel gmm_prs(core::Cluster& cluster, const linalg::MatrixD& points,
   // Broadcast per iteration: weights (M) + means (M*D) + variances (M*D).
   const double state_bytes =
       static_cast<double>(params.components) * (1.0 + 2.0 * static_cast<double>(d));
+  const ckpt::StateCodec codec = gmm_state_codec(state);
   auto iterative = core::run_iterative<int, std::vector<double>>(
       cluster, spec, cfg, points.rows(), params.max_iterations, on_iteration,
-      state_bytes);
+      state_bytes, checkpoint, checkpoint != nullptr ? &codec : nullptr);
 
   if (cfg.mode == core::ExecutionMode::kModeled) {
     state->model.iterations = iterative.iterations;

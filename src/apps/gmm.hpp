@@ -59,9 +59,14 @@ using GmmSpec = core::MapReduceSpec<int, std::vector<double>>;
 GmmSpec gmm_spec(std::shared_ptr<GmmState> state, const GmmParams& params,
                  std::size_t dims);
 
+/// Checkpoint codec over the iteration-carried state: the full model
+/// (weights, means, variances, log-likelihood, iteration count).
+ckpt::StateCodec gmm_state_codec(std::shared_ptr<GmmState> state);
+
 GmmModel gmm_prs(core::Cluster& cluster, const linalg::MatrixD& points,
                  const GmmParams& params, const core::JobConfig& cfg,
-                 core::JobStats* stats_out = nullptr);
+                 core::JobStats* stats_out = nullptr,
+                 const ckpt::CheckpointConfig* checkpoint = nullptr);
 
 /// Paper-scale run in ExecutionMode::kModeled (no point matrix allocated);
 /// always runs exactly params.max_iterations rounds.

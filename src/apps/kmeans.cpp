@@ -182,10 +182,35 @@ KmeansSpec kmeans_spec(std::shared_ptr<KmeansState> state,
   return spec;
 }
 
+ckpt::StateCodec kmeans_state_codec(std::shared_ptr<KmeansState> state,
+                                    double* inertia, int* iterations) {
+  ckpt::StateCodec codec;
+  codec.tag = "kmeans";
+  codec.encode = [state, inertia, iterations](ckpt::Writer& w) {
+    ckpt::put_matrix(w, state->centers);
+    w.f64(inertia != nullptr ? *inertia : 0.0);
+    w.i32(iterations != nullptr ? *iterations : 0);
+  };
+  codec.decode = [state, inertia, iterations](ckpt::Reader& r) {
+    linalg::MatrixD centers;
+    ckpt::get_matrix(r, centers);
+    PRS_REQUIRE(centers.rows() == state->centers.rows() &&
+                    centers.cols() == state->centers.cols(),
+                "kmeans checkpoint centers shape does not match this run");
+    state->centers = std::move(centers);
+    const double in = r.f64();
+    const int iters = r.i32();
+    if (inertia != nullptr) *inertia = in;
+    if (iterations != nullptr) *iterations = iters;
+  };
+  return codec;
+}
+
 KmeansResult kmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
                         const KmeansParams& params,
                         const core::JobConfig& cfg,
-                        core::JobStats* stats_out) {
+                        core::JobStats* stats_out,
+                        const ckpt::CheckpointConfig* checkpoint) {
   validate_params(points, params);
   const std::size_t d = points.cols();
 
@@ -209,9 +234,12 @@ KmeansResult kmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
     return move >= params.epsilon;
   };
 
+  const ckpt::StateCodec codec =
+      kmeans_state_codec(state, &res.inertia, &res.iterations);
   auto iterative = core::run_iterative<int, std::vector<double>>(
       cluster, spec, cfg, points.rows(), params.max_iterations, on_iteration,
-      static_cast<double>(params.clusters) * static_cast<double>(d));
+      static_cast<double>(params.clusters) * static_cast<double>(d),
+      checkpoint, checkpoint != nullptr ? &codec : nullptr);
 
   res.centers = state->centers;
   if (cfg.mode == core::ExecutionMode::kFunctional) {

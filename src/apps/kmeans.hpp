@@ -47,10 +47,17 @@ using KmeansSpec = core::MapReduceSpec<int, std::vector<double>>;
 KmeansSpec kmeans_spec(std::shared_ptr<KmeansState> state,
                        const KmeansParams& params, std::size_t dims);
 
+/// Checkpoint codec over the iteration-carried state (centers matrix plus
+/// the running inertia / iteration count when the pointers are set).
+ckpt::StateCodec kmeans_state_codec(std::shared_ptr<KmeansState> state,
+                                    double* inertia = nullptr,
+                                    int* iterations = nullptr);
+
 KmeansResult kmeans_prs(core::Cluster& cluster, const linalg::MatrixD& points,
                         const KmeansParams& params,
                         const core::JobConfig& cfg,
-                        core::JobStats* stats_out = nullptr);
+                        core::JobStats* stats_out = nullptr,
+                        const ckpt::CheckpointConfig* checkpoint = nullptr);
 
 /// Paper-scale run in ExecutionMode::kModeled (no point matrix allocated);
 /// always runs exactly params.max_iterations rounds.

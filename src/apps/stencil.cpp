@@ -128,11 +128,36 @@ StencilSpec stencil_spec(std::shared_ptr<StencilState> state,
   return spec;
 }
 
+ckpt::StateCodec stencil_state_codec(std::shared_ptr<StencilState> state,
+                                     double* residual, int* iterations) {
+  ckpt::StateCodec codec;
+  codec.tag = "stencil";
+  codec.encode = [state, residual, iterations](ckpt::Writer& w) {
+    ckpt::put_matrix(w, state->grid);
+    w.f64(residual != nullptr ? *residual : 0.0);
+    w.i32(iterations != nullptr ? *iterations : 0);
+  };
+  codec.decode = [state, residual, iterations](ckpt::Reader& r) {
+    linalg::MatrixD grid;
+    ckpt::get_matrix(r, grid);
+    PRS_REQUIRE(grid.rows() == state->grid.rows() &&
+                    grid.cols() == state->grid.cols(),
+                "stencil checkpoint grid shape does not match this run");
+    state->grid = std::move(grid);
+    const double res = r.f64();
+    const int iters = r.i32();
+    if (residual != nullptr) *residual = res;
+    if (iterations != nullptr) *iterations = iters;
+  };
+  return codec;
+}
+
 StencilResult stencil_prs(core::Cluster& cluster,
                           const linalg::MatrixD& initial,
                           const StencilParams& params,
                           const core::JobConfig& cfg,
-                          core::JobStats* stats_out) {
+                          core::JobStats* stats_out,
+                          const ckpt::CheckpointConfig* checkpoint) {
   validate_grid(initial);
   PRS_REQUIRE(params.max_iterations >= 1, "need at least one iteration");
   const std::size_t cols = initial.cols();
@@ -165,9 +190,11 @@ StencilResult stencil_prs(core::Cluster& cluster,
   // Per-iteration exchange: two halo rows per block boundary; approximate
   // with 2 rows per node (the dominant inter-node traffic).
   const double halo_bytes = 2.0 * static_cast<double>(cols);
+  const ckpt::StateCodec codec =
+      stencil_state_codec(state, &res.residual, &res.iterations);
   auto iterative = core::run_iterative<long, std::vector<double>>(
       cluster, spec, cfg, interior_rows, params.max_iterations, on_iteration,
-      halo_bytes);
+      halo_bytes, checkpoint, checkpoint != nullptr ? &codec : nullptr);
 
   res.grid = state->grid;
   if (cfg.mode == core::ExecutionMode::kModeled) {

@@ -54,12 +54,19 @@ using StencilSpec = core::MapReduceSpec<long, std::vector<double>>;
 StencilSpec stencil_spec(std::shared_ptr<StencilState> state,
                          std::size_t cols);
 
+/// Checkpoint codec over the iteration-carried state (the grid plus the
+/// running residual / iteration count when the pointers are set).
+ckpt::StateCodec stencil_state_codec(std::shared_ptr<StencilState> state,
+                                     double* residual = nullptr,
+                                     int* iterations = nullptr);
+
 /// Distributed relaxation on the cluster; numerically identical to
 /// stencil_serial.
 StencilResult stencil_prs(core::Cluster& cluster,
                           const linalg::MatrixD& initial,
                           const StencilParams& params,
                           const core::JobConfig& cfg,
-                          core::JobStats* stats_out = nullptr);
+                          core::JobStats* stats_out = nullptr,
+                          const ckpt::CheckpointConfig* checkpoint = nullptr);
 
 }  // namespace prs::apps

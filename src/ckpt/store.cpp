@@ -1,0 +1,157 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace prs::ckpt {
+
+namespace fs = std::filesystem;
+
+// --- MemoryCheckpointStore --------------------------------------------------
+
+void MemoryCheckpointStore::put(const std::string& key,
+                                const std::string& blob) {
+  blobs_[key] = blob;
+}
+
+bool MemoryCheckpointStore::get(const std::string& key,
+                                std::string* out) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<std::string> MemoryCheckpointStore::keys() const {
+  std::vector<std::string> out;
+  out.reserve(blobs_.size());
+  for (const auto& [k, v] : blobs_) out.push_back(k);
+  return out;  // std::map iterates sorted
+}
+
+void MemoryCheckpointStore::remove(const std::string& key) {
+  blobs_.erase(key);
+}
+
+// --- FileCheckpointStore ----------------------------------------------------
+
+namespace {
+constexpr const char* kExt = ".ckpt";
+
+void validate_key(const std::string& key) {
+  PRS_REQUIRE(!key.empty(), "ckpt: empty snapshot key");
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    PRS_REQUIRE(ok, "ckpt: snapshot key '" + key +
+                        "' contains characters unsafe for a filename");
+  }
+}
+}  // namespace
+
+FileCheckpointStore::FileCheckpointStore(std::string dir)
+    : dir_(std::move(dir)) {
+  PRS_REQUIRE(!dir_.empty(), "ckpt: empty checkpoint directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  PRS_REQUIRE(!ec, "ckpt: cannot create checkpoint directory '" + dir_ +
+                       "': " + ec.message());
+  PRS_REQUIRE(fs::is_directory(dir_, ec),
+              "ckpt: checkpoint path '" + dir_ + "' is not a directory");
+}
+
+std::string FileCheckpointStore::path_for(const std::string& key) const {
+  return dir_ + "/" + key + kExt;
+}
+
+void FileCheckpointStore::put(const std::string& key,
+                              const std::string& blob) {
+  validate_key(key);
+  const std::string final_path = path_for(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    PRS_REQUIRE(out.good(),
+                "ckpt: cannot open '" + tmp_path + "' for writing");
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    PRS_REQUIRE(out.good(), "ckpt: short write to '" + tmp_path + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) std::remove(tmp_path.c_str());
+  PRS_REQUIRE(!ec, "ckpt: cannot rename '" + tmp_path + "' to '" + final_path +
+                       "': " + ec.message());
+}
+
+bool FileCheckpointStore::get(const std::string& key, std::string* out) const {
+  validate_key(key);
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in.is_open()) return false;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  PRS_REQUIRE(!in.bad(), "ckpt: IO error reading '" + path_for(key) + "'");
+  *out = std::move(blob);
+  return true;
+}
+
+std::vector<std::string> FileCheckpointStore::keys() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() <= std::string(kExt).size()) continue;
+    if (!name.ends_with(kExt)) continue;
+    out.push_back(name.substr(0, name.size() - std::string(kExt).size()));
+  }
+  PRS_REQUIRE(!ec, "ckpt: cannot list checkpoint directory '" + dir_ +
+                       "': " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FileCheckpointStore::remove(const std::string& key) {
+  validate_key(key);
+  std::error_code ec;
+  fs::remove(path_for(key), ec);
+  PRS_REQUIRE(!ec, "ckpt: cannot remove snapshot '" + key + "': " +
+                       ec.message());
+}
+
+// --- key helpers ------------------------------------------------------------
+
+std::string snapshot_key(const std::string& prefix, int next_iteration) {
+  PRS_REQUIRE(next_iteration >= 0, "ckpt: negative snapshot iteration");
+  char num[16];
+  std::snprintf(num, sizeof(num), "%08d", next_iteration);
+  return prefix + "." + num;
+}
+
+std::string latest_snapshot_key(const CheckpointStore& store,
+                                const std::string& prefix) {
+  const std::string want = prefix + ".";
+  std::string best;
+  for (const auto& k : store.keys())
+    if (k.size() > want.size() && k.compare(0, want.size(), want) == 0)
+      best = k;  // keys() is sorted ascending; last match is newest
+  return best;
+}
+
+void prune_snapshots(CheckpointStore& store, const std::string& prefix,
+                     int keep) {
+  if (keep <= 0) return;
+  const std::string want = prefix + ".";
+  std::vector<std::string> mine;
+  for (const auto& k : store.keys())
+    if (k.size() > want.size() && k.compare(0, want.size(), want) == 0)
+      mine.push_back(k);
+  if (static_cast<int>(mine.size()) <= keep) return;
+  for (std::size_t i = 0; i + keep < mine.size(); ++i) store.remove(mine[i]);
+}
+
+}  // namespace prs::ckpt

@@ -1,0 +1,86 @@
+#pragma once
+// Checkpoint storage backends.
+//
+// A CheckpointStore is a flat key → blob map. Keys are produced by
+// snapshot_key() so that lexicographic order equals numeric iteration order,
+// which lets latest_snapshot_key()/prune_snapshots() work on sorted key
+// listings without parsing.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prs::ckpt {
+
+/// Abstract key/value blob store for snapshots.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  /// Store (or overwrite) a blob under `key`.
+  virtual void put(const std::string& key, const std::string& blob) = 0;
+
+  /// Fetch the blob stored under `key` into `out`. Returns false (and leaves
+  /// `out` untouched) when the key is absent.
+  virtual bool get(const std::string& key, std::string* out) const = 0;
+
+  /// All keys, sorted ascending.
+  virtual std::vector<std::string> keys() const = 0;
+
+  /// Remove a key; removing an absent key is a no-op.
+  virtual void remove(const std::string& key) = 0;
+
+  /// Human-readable backend name ("memory", "file:<dir>").
+  virtual std::string name() const = 0;
+};
+
+/// Process-local store; snapshots die with the process. Useful for tests and
+/// for in-place (same-process) crash recovery.
+class MemoryCheckpointStore final : public CheckpointStore {
+ public:
+  void put(const std::string& key, const std::string& blob) override;
+  bool get(const std::string& key, std::string* out) const override;
+  std::vector<std::string> keys() const override;
+  void remove(const std::string& key) override;
+  std::string name() const override { return "memory"; }
+
+ private:
+  std::map<std::string, std::string> blobs_;
+};
+
+/// Directory-backed store: one `<key>.ckpt` file per snapshot. Writes go
+/// through a temp file + rename so a crash mid-write never leaves a torn
+/// snapshot under a live key. IO failures throw prs::Error.
+class FileCheckpointStore final : public CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit FileCheckpointStore(std::string dir);
+
+  void put(const std::string& key, const std::string& blob) override;
+  bool get(const std::string& key, std::string* out) const override;
+  std::vector<std::string> keys() const override;
+  void remove(const std::string& key) override;
+  std::string name() const override { return "file:" + dir_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+
+  std::string dir_;
+};
+
+/// Key for the snapshot taken before iteration `next_iteration` runs.
+/// Zero-padded so lexicographic order equals numeric order.
+std::string snapshot_key(const std::string& prefix, int next_iteration);
+
+/// Newest snapshot key under `prefix` in `store`, or "" when none exists.
+std::string latest_snapshot_key(const CheckpointStore& store,
+                                const std::string& prefix);
+
+/// Delete all but the newest `keep` snapshots under `prefix`.
+void prune_snapshots(CheckpointStore& store, const std::string& prefix,
+                     int keep);
+
+}  // namespace prs::ckpt

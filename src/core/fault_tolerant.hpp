@@ -651,7 +651,12 @@ sim::Process ft_node_main(Cluster& cluster,
   // -- local combine + shuffle over the alive set -----------------------------
   auto outbound = ft_prepare_outbound(ns, batch);
   const double shuffle_t0 = sim.now();
-  std::vector<simnet::Message> inbound;
+  // Collect inbound buckets keyed by source rank, not in arrival order: the
+  // fast path combines the all_to_all result rank-by-rank, and floating-point
+  // reduce combines are order-sensitive, so a fault-free run through this
+  // path must merge in the same order to stay byte-identical (the checkpoint
+  // crash-matrix asserts exactly that).
+  std::map<int, simnet::Message> inbound_by_src;
   std::size_t self_pos = 0;
   for (std::size_t i = 0; i < ns->alive.size(); ++i) {
     if (ns->alive[i] == rank) self_pos = i;
@@ -663,7 +668,7 @@ sim::Process ft_node_main(Cluster& cluster,
     comm.send(peer, tag_base + kShuffleTag, std::move(outbound[i]));
     sim.spawn(ft_recv_pump(ns, peer, tag_base + kShuffleTag));
   }
-  inbound.push_back(std::move(outbound[self_pos]));
+  inbound_by_src.emplace(rank, std::move(outbound[self_pos]));
   std::size_t want = ns->alive.size() - 1;
   while (want > 0) {
     auto ev = co_await ns->events->recv();
@@ -673,7 +678,7 @@ sim::Process ft_node_main(Cluster& cluster,
     const auto src = static_cast<std::size_t>(ev->rank);
     ctl->expecting[rk][src] = 0;
     ctl->got[rk][src] = 1;
-    inbound.push_back(std::move(ev->payload));
+    inbound_by_src.emplace(ev->rank, std::move(ev->payload));
     --want;
   }
   st->shuffle_time = std::max(st->shuffle_time, sim.now() - shuffle_t0);
@@ -688,7 +693,7 @@ sim::Process ft_node_main(Cluster& cluster,
   std::size_t reduce_pairs = 0;
   {
     using Payload = std::shared_ptr<std::vector<std::pair<K, V>>>;
-    for (auto& m : inbound) {
+    for (auto& [src, m] : inbound_by_src) {
       if (!m.has_payload()) continue;
       auto& pairs = *m.template payload_as<Payload>();
       reduce_pairs += pairs.size();
@@ -796,6 +801,13 @@ JobResult<K, V> run_job_tolerant(Cluster& cluster,
   const std::uint64_t retrans0 = cluster.fabric().retransmits();
 
   std::vector<char> alive_mask(static_cast<std::size_t>(nodes), 1);
+  // Nodes the caller already knows are dead (run_iterative after a recovered
+  // crash) start excluded; they were counted in blacklisted_nodes when first
+  // detected, so they do not bump the counter again here.
+  for (int r : cfg.presumed_dead) {
+    PRS_REQUIRE(r != 0, "master (rank 0) cannot be presumed dead");
+    if (r > 0 && r < nodes) alive_mask[static_cast<std::size_t>(r)] = 0;
+  }
   int blacklisted = 0;
   std::uint64_t retries = 0, speculations = 0, spec_wins = 0, doubles = 0;
 
@@ -928,13 +940,19 @@ JobResult<K, V> run_job_tolerant(Cluster& cluster,
   JobResult<K, V> result;
   result.output = std::move(st->final_output);
   result.stats = collect_stats(cluster, counters0, *st, elapsed);
-  result.stats.task_retries = retries;
-  result.stats.speculations = speculations;
-  result.stats.speculative_wins = spec_wins;
-  result.stats.double_completions = doubles;
-  result.stats.retransmits = cluster.fabric().retransmits() - retrans0;
-  result.stats.blacklisted_nodes = blacklisted;
-  result.stats.job_attempts = attempts_used;
+  // Fold the fault-tolerance counters in through the shared field visitor
+  // (JobStats::accumulate) instead of assigning one-by-one, so a counter
+  // added to JobStats cannot be silently dropped here.
+  JobStats ft_counters;
+  ft_counters.iterations = 0;  // neutralize the default-1 field
+  ft_counters.task_retries = retries;
+  ft_counters.speculations = speculations;
+  ft_counters.speculative_wins = spec_wins;
+  ft_counters.double_completions = doubles;
+  ft_counters.retransmits = cluster.fabric().retransmits() - retrans0;
+  ft_counters.blacklisted_nodes = blacklisted;
+  ft_counters.job_attempts = attempts_used - 1;  // collect_stats seeded 1
+  result.stats.accumulate(ft_counters);
 
   policy->observe(collect_feedback(cluster, counters0, st->cpu_fraction,
                                    elapsed));

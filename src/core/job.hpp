@@ -144,6 +144,14 @@ struct JobConfig {
 
   /// Tolerance knobs; read only when `faults` is set.
   FaultToleranceConfig tolerance;
+
+  /// Ranks known dead before the job starts (e.g. from a crash detected in a
+  /// previous iteration of run_iterative). The fault-tolerant path excludes
+  /// them from the initial split instead of rediscovering the crash through
+  /// timeouts; they are not re-counted in `JobStats::blacklisted_nodes`.
+  /// Rank 0 (the master) cannot be presumed dead. Read only when `faults`
+  /// is set.
+  std::vector<int> presumed_dead;
 };
 
 /// Utilization and cost accounting for one job (or one iteration batch).
@@ -181,7 +189,59 @@ struct JobStats {
   double flops_rate() const {
     return elapsed > 0.0 ? total_flops() / elapsed : 0.0;
   }
+
+  /// Field-by-field sum of `other` into this (defined below the field
+  /// visitor). Note the default-1 fields (`iterations`, `job_attempts`) are
+  /// summed like everything else; callers that need "count once" semantics
+  /// (run_iterative) overwrite them after accumulating.
+  void accumulate(const JobStats& other);
 };
+
+/// Visits every numeric field of two JobStats objects in lockstep:
+/// fn(field_name, a_field, b_field). This is the single source of truth for
+/// the JobStats field list — accumulate(), the checkpoint snapshot codec and
+/// the reflection test in tests/ckpt_test.cpp all go through it, so a field
+/// added here is summed, persisted and covered automatically. A field added
+/// to the struct but NOT listed here trips the sizeof guard in that test.
+template <typename StatsA, typename StatsB, typename Fn>
+void visit_stats_fields2(StatsA& a, StatsB& b, Fn&& fn) {
+  fn("elapsed", a.elapsed, b.elapsed);
+  fn("cpu_busy", a.cpu_busy, b.cpu_busy);
+  fn("gpu_busy", a.gpu_busy, b.gpu_busy);
+  fn("cpu_flops", a.cpu_flops, b.cpu_flops);
+  fn("gpu_flops", a.gpu_flops, b.gpu_flops);
+  fn("pcie_bytes", a.pcie_bytes, b.pcie_bytes);
+  fn("network_bytes", a.network_bytes, b.network_bytes);
+  fn("map_tasks", a.map_tasks, b.map_tasks);
+  fn("reduce_tasks", a.reduce_tasks, b.reduce_tasks);
+  fn("intermediate_pairs", a.intermediate_pairs, b.intermediate_pairs);
+  fn("iterations", a.iterations, b.iterations);
+  fn("startup_time", a.startup_time, b.startup_time);
+  fn("map_time", a.map_time, b.map_time);
+  fn("shuffle_time", a.shuffle_time, b.shuffle_time);
+  fn("reduce_time", a.reduce_time, b.reduce_time);
+  fn("gather_time", a.gather_time, b.gather_time);
+  fn("task_retries", a.task_retries, b.task_retries);
+  fn("speculations", a.speculations, b.speculations);
+  fn("speculative_wins", a.speculative_wins, b.speculative_wins);
+  fn("double_completions", a.double_completions, b.double_completions);
+  fn("retransmits", a.retransmits, b.retransmits);
+  fn("blacklisted_nodes", a.blacklisted_nodes, b.blacklisted_nodes);
+  fn("job_attempts", a.job_attempts, b.job_attempts);
+}
+
+/// Single-struct flavour of the visitor: fn(field_name, field).
+template <typename Stats, typename Fn>
+void visit_stats_fields(Stats& s, Fn&& fn) {
+  visit_stats_fields2(s, s,
+                      [&fn](const char* name, auto& f, auto&) { fn(name, f); });
+}
+
+inline void JobStats::accumulate(const JobStats& other) {
+  visit_stats_fields2(
+      *this, other,
+      [](const char*, auto& into, const auto& from) { into += from; });
+}
 
 /// Final output of a job: the reduced key/value map plus statistics.
 template <typename K, typename V>

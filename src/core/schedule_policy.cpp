@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/codec.hpp"
 #include "common/error.hpp"
 #include "core/cluster.hpp"
 
@@ -68,6 +69,10 @@ std::size_t SchedulePolicy::block_items(Cluster& cluster,
 }
 
 void SchedulePolicy::observe(const JobFeedback& feedback) { (void)feedback; }
+
+void SchedulePolicy::save_state(ckpt::Writer& w) const { (void)w; }
+
+void SchedulePolicy::restore_state(ckpt::Reader& r) { (void)r; }
 
 std::size_t DynamicBlockPolicy::block_items(Cluster& cluster,
                                             const JobShape& shape,
@@ -136,6 +141,28 @@ void AdaptiveFeedbackPolicy::observe(const JobFeedback& feedback) {
     learned_[nf.rank] = std::clamp(
         (1.0 - gain_) * current + gain_ * balanced, 0.0, 1.0);
   }
+}
+
+void AdaptiveFeedbackPolicy::save_state(ckpt::Writer& w) const {
+  w.u64(learned_.size());
+  for (const auto& [rank, p] : learned_) {
+    w.i32(rank);
+    w.f64(p);
+  }
+}
+
+void AdaptiveFeedbackPolicy::restore_state(ckpt::Reader& r) {
+  std::map<int, double> learned;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int rank = r.i32();
+    const double p = r.f64();
+    PRS_REQUIRE(rank >= 0, "adaptive policy state holds a negative rank");
+    PRS_REQUIRE(p >= 0.0 && p <= 1.0,
+                "adaptive policy state holds p outside [0, 1]");
+    learned[rank] = p;
+  }
+  learned_ = std::move(learned);
 }
 
 double AdaptiveFeedbackPolicy::learned_fraction(int rank) const {

@@ -32,6 +32,11 @@
 #include "core/job.hpp"
 #include "roofline/analytic_scheduler.hpp"
 
+namespace prs::ckpt {
+class Writer;  // ckpt/codec.hpp; policies serialize learned state into
+class Reader;  // checkpoint snapshots without depending on the full header
+}
+
 namespace prs::core {
 
 class Cluster;
@@ -96,6 +101,13 @@ class SchedulePolicy {
 
   /// Post-job feedback; default no-op (stateless policies).
   virtual void observe(const JobFeedback& feedback);
+
+  /// Serialize / restore learned state for checkpoint snapshots. Stateless
+  /// policies write nothing (default). restore_state() must accept a blob
+  /// written by save_state() of the same policy class; the snapshot layer
+  /// guards cross-policy restores via name().
+  virtual void save_state(ckpt::Writer& w) const;
+  virtual void restore_state(ckpt::Reader& r);
 };
 
 /// §III.B.2 static strategy: pure Eq (8) + Eqs (9)-(11), no runtime state.
@@ -137,6 +149,8 @@ class AdaptiveFeedbackPolicy final : public SchedulePolicy {
   NodeDecision node_decision(Cluster& cluster, const JobShape& shape,
                              const JobConfig& cfg, int rank) override;
   void observe(const JobFeedback& feedback) override;
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
   /// The current learned p for one node; negative when nothing has been
   /// observed yet (the analytic p applies).

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/error.hpp"
 
@@ -40,6 +41,11 @@ double parse_number(const std::string& text, const std::string& clause) {
   } catch (const std::invalid_argument&) {
     throw InvalidArgument("bad number '" + text + "' in fault clause '" +
                           clause + "'");
+  } catch (const std::out_of_range&) {
+    // e.g. "1e99999": keep malformed-spec failures inside the prs::Error
+    // hierarchy instead of leaking std exceptions.
+    throw InvalidArgument("number out of range '" + text +
+                          "' in fault clause '" + clause + "'");
   }
 }
 
@@ -87,7 +93,13 @@ int parse_node(const std::string& text, const std::string& clause) {
                             "' in fault clause '" + clause + "'");
     }
   }
-  return std::stoi(num);
+  try {
+    return std::stoi(num);
+  } catch (const std::out_of_range&) {
+    // e.g. "node99999999999999999999"
+    throw InvalidArgument("node index out of range '" + text +
+                          "' in fault clause '" + clause + "'");
+  }
 }
 
 FaultClause parse_clause(const std::string& raw) {
@@ -194,6 +206,13 @@ std::string format_value(double v) {
   return buf;
 }
 
+/// Shortest decimal that round-trips the double exactly (for to_spec()).
+std::string format_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 }  // namespace
 
 const char* to_string(FaultKind kind) {
@@ -228,6 +247,31 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     plan.clauses.push_back(parse_clause(piece));
   }
   return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultClause& c : clauses) {
+    const bool link_kind = c.kind == FaultKind::kLinkDrop ||
+                           c.kind == FaultKind::kLinkDelay ||
+                           c.kind == FaultKind::kLinkDup;
+    if (!out.empty()) out += ';';
+    out += to_string(c.kind);
+    out += ':';
+    out += format_target(c, link_kind);
+    // The grammar's t= parameter means extra_delay for link_delay clauses
+    // and activation time for every other kind.
+    if (c.kind == FaultKind::kLinkDelay) {
+      if (c.extra_delay > 0.0) out += ":t=" + format_exact(c.extra_delay) + "s";
+    } else if (c.at > 0.0) {
+      out += ":t=" + format_exact(c.at) + "s";
+    }
+    if (c.probability != 1.0) out += ":p=" + format_exact(c.probability);
+    if (c.factor != 1.0) out += ":x" + format_exact(c.factor);
+    if (c.device == DeviceFilter::kCpu) out += ":cpu";
+    if (c.device == DeviceFilter::kGpu) out += ":gpu";
+  }
+  return out;
 }
 
 std::string FaultPlan::summary() const {

@@ -45,6 +45,8 @@ struct FaultClause {
   double factor = 1.0;       // slow_node multiplier (x4)
   double extra_delay = 0.0;  // link_delay amount (seconds, from t=)
   DeviceFilter device = DeviceFilter::kAny;
+
+  bool operator==(const FaultClause&) const = default;
 };
 
 struct FaultPlan {
@@ -58,6 +60,12 @@ struct FaultPlan {
 
   /// Deterministic human-readable listing, one clause per line.
   std::string summary() const;
+
+  /// Canonical spec string: parse(to_spec()) reproduces the same clauses
+  /// (exact doubles via %.17g). Only grammar-expressible plans round-trip —
+  /// a hand-built link_delay clause with an activation time has no spec
+  /// form, since `t=` carries the delay for that kind.
+  std::string to_spec() const;
 };
 
 const char* to_string(FaultKind kind);

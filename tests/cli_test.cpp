@@ -141,5 +141,44 @@ TEST(Cli, JobConfigMapping) {
   EXPECT_DOUBLE_EQ(cfg.cpu_fraction_override, 0.5);
 }
 
+TEST(Cli, CheckpointFlagsParseAndValidate) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse({"--app=cmeans", "--functional", "--checkpoint-every=3",
+                     "--checkpoint-dir=/tmp/ck", "--resume"},
+                    o, err))
+      << err;
+  EXPECT_EQ(o.checkpoint_every, 3);
+  EXPECT_EQ(o.checkpoint_dir, "/tmp/ck");
+  EXPECT_TRUE(o.resume);
+
+  // --resume alone picks interval 1 downstream but still needs a directory.
+  Options dirless;
+  EXPECT_FALSE(parse({"--app=cmeans", "--functional", "--resume"}, dirless,
+                     err));
+  Options everyless;
+  EXPECT_FALSE(parse({"--app=cmeans", "--functional", "--checkpoint-every=2"},
+                     everyless, err));
+
+  // Snapshots carry real app state: modeled runs and the non-iterative apps
+  // have none to carry.
+  Options modeled;
+  EXPECT_FALSE(parse({"--app=cmeans", "--checkpoint-every=2",
+                      "--checkpoint-dir=/tmp/ck"},
+                     modeled, err));
+  Options wrong_app;
+  EXPECT_FALSE(parse({"--app=gemv", "--functional", "--checkpoint-every=2",
+                      "--checkpoint-dir=/tmp/ck"},
+                     wrong_app, err));
+  Options repeated;
+  EXPECT_FALSE(parse({"--app=cmeans", "--functional", "--repeat=2",
+                      "--checkpoint-every=2", "--checkpoint-dir=/tmp/ck"},
+                     repeated, err));
+  Options zero;
+  EXPECT_FALSE(parse({"--app=cmeans", "--functional", "--checkpoint-every=0",
+                      "--checkpoint-dir=/tmp/ck"},
+                     zero, err));
+}
+
 }  // namespace
 }  // namespace prs::tools

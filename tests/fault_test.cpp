@@ -4,9 +4,12 @@
 // via blacklisting + re-splitting, and straggler speculation.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/rng.hpp"
 
 #include "core/cluster.hpp"
 #include "core/job_runner.hpp"
@@ -253,6 +256,146 @@ TEST(FaultTolerance, StragglerSpeculationWinsAndDuplicatesAreDiscarded) {
   // First-result-wins must not change the reduced values.
   EXPECT_EQ(got.output, expected_sums(kItems));
   EXPECT_EQ(got.stats.blacklisted_nodes, 0);
+}
+
+// -- (e) fault-spec grammar fuzzing -----------------------------------------
+
+std::string format_exact17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Builds a random spec clause that the grammar documents as valid.
+std::string random_valid_clause(Rng& rng) {
+  static const char* kDeviceKinds[] = {"gpu_hang", "node_crash", "slow_node",
+                                       "task_error"};
+  static const char* kLinkKinds[] = {"link_drop", "link_delay", "link_dup"};
+  static const char* kSuffixes[] = {"", "s", "ms", "us", "ns"};
+
+  const bool link = rng.uniform() < 0.4;
+  std::string kind = link ? kLinkKinds[rng.uniform_index(3)]
+                          : kDeviceKinds[rng.uniform_index(4)];
+  std::string clause = kind + ":";
+  auto node = [&] {
+    return rng.uniform() < 0.2
+               ? std::string("*")
+               : "node" + std::to_string(rng.uniform_index(64));
+  };
+  if (link) {
+    clause += rng.uniform() < 0.25 ? "*" : node() + "-" + node();
+  } else {
+    clause += node();
+  }
+  if (kind == "slow_node") {
+    clause += ":x" + format_exact17(rng.uniform(1.5, 16.0));
+  }
+  if (kind == "link_delay") {
+    clause += ":t=" + format_exact17(rng.uniform(1e-6, 1e-2)) + "s";
+  } else if (rng.uniform() < 0.5) {
+    clause += ":t=" + format_exact17(rng.uniform(0.0, 10.0)) +
+              kSuffixes[rng.uniform_index(5)];
+  }
+  if (rng.uniform() < 0.5) {
+    clause += ":p=" + format_exact17(rng.uniform());
+  }
+  if (!link && rng.uniform() < 0.3) {
+    clause += rng.uniform() < 0.5 ? ":cpu" : ":gpu";
+  }
+  return clause;
+}
+
+TEST(FaultPlanFuzz, GeneratedValidSpecsParseAndRoundTripThroughToSpec) {
+  Rng rng(0xfa11);
+  for (int i = 0; i < 100; ++i) {
+    std::string spec = random_valid_clause(rng);
+    const std::size_t extra = rng.uniform_index(3);
+    for (std::size_t c = 0; c < extra; ++c) {
+      spec += (rng.uniform() < 0.5 ? ";" : ",") + random_valid_clause(rng);
+    }
+    SCOPED_TRACE(spec);
+    fault::FaultPlan plan;
+    ASSERT_NO_THROW(plan = fault::FaultPlan::parse(spec));
+    ASSERT_FALSE(plan.empty());
+    // The canonical spelling reparses to the same clauses, doubles exact.
+    const std::string canonical = plan.to_spec();
+    const fault::FaultPlan back = fault::FaultPlan::parse(canonical);
+    EXPECT_EQ(back.clauses, plan.clauses);
+    EXPECT_EQ(back.to_spec(), canonical);
+  }
+}
+
+TEST(FaultPlanFuzz, MutatedSpecsEitherParseOrThrowPrsErrorsOnly) {
+  Rng rng(0xbadf00d);
+  std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789:;,.*-=_ xXtTpPeE+\t\n";
+  charset.push_back('\0');   // embedded NUL
+  charset.push_back('\x7f');
+  charset.push_back('\xff');
+  int parsed = 0;
+  int rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string spec = random_valid_clause(rng);
+    const int mutations = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int m = 0; m < mutations; ++m) {
+      if (spec.empty()) break;
+      const std::size_t pos = rng.uniform_index(spec.size());
+      const char c = charset[rng.uniform_index(charset.size())];
+      switch (rng.uniform_index(3)) {
+        case 0:
+          spec[pos] = c;
+          break;
+        case 1:
+          spec.insert(pos, 1, c);
+          break;
+        default:
+          spec.erase(pos, 1);
+          break;
+      }
+    }
+    SCOPED_TRACE(spec);
+    try {
+      fault::FaultPlan::parse(spec);
+      ++parsed;
+    } catch (const prs::Error&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+    // Anything else (std::out_of_range from stoi/stod, bad_alloc from a
+    // bogus length, segfault) escapes and fails the test.
+  }
+  // The mutator must actually exercise both sides of the parser.
+  EXPECT_GT(parsed, 5);
+  EXPECT_GT(rejected, 5);
+}
+
+TEST(FaultPlanFuzz, OverflowingNumbersAreRejectedAsInvalidArgument) {
+  EXPECT_THROW(
+      fault::FaultPlan::parse("node_crash:node99999999999999999999"),
+      InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("slow_node:node0:x1e999"),
+               InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("gpu_hang:node1:t=1e999s"),
+               InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("task_error:node1:p=1e999"),
+               InvalidArgument);
+  EXPECT_THROW(fault::FaultPlan::parse("link_delay:*:t=1e-999999s"),
+               InvalidArgument);
+}
+
+TEST(FaultPlanFuzz, ToSpecOfParsedSpecIsAFixedPoint) {
+  const char* specs[] = {
+      "gpu_hang:node1:t=2ms; link_drop:node0-node2:p=0.01,"
+      "slow_node:node3:x4:gpu; node_crash:*:t=1500us",
+      "link_delay:*:t=1ms:p=0.1; link_dup:node0-*:p=0.02",
+      "task_error:node1:p=0.05",
+  };
+  for (const char* s : specs) {
+    const auto plan = fault::FaultPlan::parse(s);
+    const std::string canonical = plan.to_spec();
+    const auto back = fault::FaultPlan::parse(canonical);
+    EXPECT_EQ(back.clauses, plan.clauses) << s;
+    EXPECT_EQ(back.to_spec(), canonical) << s;
+  }
 }
 
 }  // namespace

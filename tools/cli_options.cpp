@@ -66,6 +66,13 @@ usage: prs_run [options]
                       "slow_node:node3:x4", "node_crash:node2:t=5ms";
                       ';'-separated clauses compose (see DESIGN.md)
   --fault-seed=S      seed of the fault injector's RNG streams (default 1)
+  --checkpoint-every=N  snapshot the iterative driver's state every N
+                      iterations into --checkpoint-dir (functional
+                      cmeans/kmeans/gmm only); a node_crash then halts
+                      with the latest snapshot preserved on disk
+  --checkpoint-dir=DIR  directory for checkpoint snapshots
+  --resume            resume from the latest snapshot in --checkpoint-dir;
+                      the run must use the same input flags and seeds
   --trace=FILE        write a Chrome trace-event JSON timeline (open in
                       chrome://tracing or https://ui.perfetto.dev)
   --metrics=FILE      write runtime metrics (JSON if FILE ends in .json,
@@ -96,6 +103,10 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
     }
     if (arg == "--cpu-only") {
       out.cpu_only = true;
+      continue;
+    }
+    if (arg == "--resume") {
+      out.resume = true;
       continue;
     }
     const auto eq = arg.find('=');
@@ -148,6 +159,11 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       ok = !val.empty();
     } else if (key == "fault-seed") {
       ok = parse_u64(val, out.fault_seed);
+    } else if (key == "checkpoint-every") {
+      ok = parse_int(val, out.checkpoint_every) && out.checkpoint_every >= 1;
+    } else if (key == "checkpoint-dir") {
+      out.checkpoint_dir = val;
+      ok = !val.empty();
     } else if (key == "repeat") {
       ok = parse_int(val, out.repeat) && out.repeat >= 1;
     } else if (key == "host-threads") {
@@ -175,6 +191,26 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
   if (out.gpu_only && out.gpus == 0) {
     error = "--gpu-only requires --gpus >= 1";
     return false;
+  }
+  if ((out.checkpoint_every > 0 || out.resume) && out.checkpoint_dir.empty()) {
+    error = "--checkpoint-every/--resume require --checkpoint-dir";
+    return false;
+  }
+  if (!out.checkpoint_dir.empty()) {
+    if (out.app != "cmeans" && out.app != "kmeans" && out.app != "gmm") {
+      error = "checkpointing supports the iterative apps only "
+              "(--app=cmeans|kmeans|gmm)";
+      return false;
+    }
+    if (!out.functional) {
+      error = "checkpointing requires --functional (snapshots carry real "
+              "application state)";
+      return false;
+    }
+    if (out.repeat != 1) {
+      error = "--checkpoint-dir and --repeat are mutually exclusive";
+      return false;
+    }
   }
   return true;
 }

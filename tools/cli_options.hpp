@@ -37,6 +37,9 @@ struct Options {
                              // (PRS_HOST_THREADS / hardware_concurrency)
   std::string fault_spec;    // --fault-spec=...: fault clauses (fault_plan.hpp)
   std::uint64_t fault_seed = 1;  // seed of the injector's RNG streams
+  int checkpoint_every = 0;  // snapshot interval in iterations; 0 = off
+  std::string checkpoint_dir;  // --checkpoint-dir=DIR: snapshot directory
+  bool resume = false;       // resume from the latest snapshot in the dir
   std::string trace_path;    // --trace=FILE: Chrome trace-event JSON
   std::string metrics_path;  // --metrics=FILE: counters/histograms dump
   bool show_help = false;

@@ -22,6 +22,9 @@
 #include "apps/gmm.hpp"
 #include "apps/kmeans.hpp"
 #include "apps/wordcount.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
+#include "ckpt/store.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -129,9 +132,19 @@ void print_node_table(core::Cluster& cluster, double elapsed) {
   t.print();
 }
 
+/// 16-hex-digit FNV digest of a Writer's encoded bytes. CI diffs this line
+/// between fault-free, crashed+resumed, and checkpoint-disabled runs.
+std::string state_digest(const ckpt::Writer& w) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(ckpt::fnv1a64(w.bytes())));
+  return buf;
+}
+
 core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
                        const core::NodeConfig& node,
-                       const core::JobConfig& cfg, Rng& rng) {
+                       const core::JobConfig& cfg, Rng& rng,
+                       const ckpt::CheckpointConfig* checkpoint) {
   const auto& sched = cluster.scheduler(0);
   core::JobStats stats;
 
@@ -153,17 +166,27 @@ core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
         p.clusters = opt.clusters;
         p.max_iterations = opt.iterations;
         p.seed = opt.seed;
-        auto res = apps::cmeans_prs(cluster, ds.points, p, cfg, &stats);
+        auto res = apps::cmeans_prs(cluster, ds.points, p, cfg, &stats,
+                                    checkpoint);
         std::printf("converged in %d iterations, J_m = %.6g\n",
                     res.iterations, res.objective);
+        ckpt::Writer w;
+        ckpt::put_matrix(w, res.centers);
+        w.f64(res.objective);
+        std::printf("cmeans state digest: %s\n", state_digest(w).c_str());
       } else {
         apps::KmeansParams p;
         p.clusters = opt.clusters;
         p.max_iterations = opt.iterations;
         p.seed = opt.seed;
-        auto res = apps::kmeans_prs(cluster, ds.points, p, cfg, &stats);
+        auto res = apps::kmeans_prs(cluster, ds.points, p, cfg, &stats,
+                                    checkpoint);
         std::printf("converged in %d iterations, inertia = %.6g\n",
                     res.iterations, res.inertia);
+        ckpt::Writer w;
+        ckpt::put_matrix(w, res.centers);
+        w.f64(res.inertia);
+        std::printf("kmeans state digest: %s\n", state_digest(w).c_str());
       }
     } else if (opt.app == "cmeans") {
       apps::CmeansParams p;
@@ -191,9 +214,17 @@ core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
       p.components = opt.clusters;
       p.max_iterations = opt.iterations;
       p.seed = opt.seed;
-      auto model = apps::gmm_prs(cluster, ds.points, p, cfg, &stats);
+      auto model = apps::gmm_prs(cluster, ds.points, p, cfg, &stats,
+                                 checkpoint);
       std::printf("converged in %d iterations, log-likelihood = %.6g\n",
                   model.iterations, model.log_likelihood);
+      ckpt::Writer w;
+      w.u64(model.weights.size());
+      for (double wm : model.weights) w.f64(wm);
+      ckpt::put_matrix(w, model.means);
+      ckpt::put_matrix(w, model.variances);
+      w.f64(model.log_likelihood);
+      std::printf("gmm state digest: %s\n", state_digest(w).c_str());
     } else {
       apps::GmmParams p;
       p.components = opt.clusters;
@@ -270,9 +301,30 @@ int run(const tools::Options& opt) {
     cfg.faults = injector.get();
   }
 
+  // Checkpointing: file-backed snapshots of the iterative driver's state.
+  // A node_crash halts the run with the latest snapshot on disk; --resume
+  // picks it up and replays only the lost iterations.
+  std::unique_ptr<ckpt::FileCheckpointStore> store;
+  ckpt::CheckpointConfig ckpt_cfg;
+  const ckpt::CheckpointConfig* checkpoint = nullptr;
+  if (!opt.checkpoint_dir.empty()) {
+    store = std::make_unique<ckpt::FileCheckpointStore>(opt.checkpoint_dir);
+    ckpt_cfg.store = store.get();
+    ckpt_cfg.interval = opt.checkpoint_every > 0 ? opt.checkpoint_every : 1;
+    ckpt_cfg.recover = opt.resume;
+    ckpt_cfg.on_crash = ckpt::OnCrash::kHalt;
+    ckpt_cfg.prefix = opt.app;
+    ckpt_cfg.run_seed = opt.seed;
+    ckpt_cfg.fault_seed = opt.fault_seed;
+    checkpoint = &ckpt_cfg;
+    std::printf("checkpointing every %d iteration(s) to %s%s\n",
+                ckpt_cfg.interval, opt.checkpoint_dir.c_str(),
+                opt.resume ? " (resuming from the latest snapshot)" : "");
+  }
+
   for (int rep = 0; rep < opt.repeat; ++rep) {
     if (opt.repeat > 1) std::printf("\n=== run %d/%d ===\n", rep + 1, opt.repeat);
-    core::JobStats stats = run_app(opt, cluster, node, cfg, rng);
+    core::JobStats stats = run_app(opt, cluster, node, cfg, rng, checkpoint);
     print_stats(stats, opt.nodes);
     if (injector != nullptr) print_fault_summary(*injector, stats);
     print_node_table(cluster, stats.elapsed);
