@@ -1,0 +1,128 @@
+// Service-layer bench: multi-tenant throughput and queue-wait latency on
+// the prs::svc job server as a function of concurrent-job count and vGPU
+// oversubscription (slots per physical card).
+//
+// Two tenants with 2:1 fair-share weights submit identical modeled cmeans
+// jobs; the server time-slices them over the vGPU pool at iteration
+// granularity. All measurements are in virtual time (deterministic for any
+// host): throughput = jobs per virtual second of makespan, queue wait =
+// virtual seconds from submit to a job's first granted stage
+// (JobStatus.queue_wait), reported as p50/p99 across the batch.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace prs;
+
+svc::JobSpec job_spec() {
+  svc::JobSpec spec;
+  spec.app = "cmeans";
+  spec.nodes = 1;
+  spec.gpus = 1;
+  spec.points = 20000;
+  spec.dims = 16;
+  spec.clusters = 8;
+  spec.iterations = 20;
+  spec.functional = false;  // modeled: virtual-time cost only
+  return spec;
+}
+
+struct Cell {
+  double throughput = 0.0;  // jobs / virtual second of makespan
+  double wait_p50 = 0.0;    // virtual seconds submit -> first grant
+  double wait_p99 = 0.0;
+};
+
+Cell run_batch(int jobs, int slots_per_card) {
+  svc::JobServer::Config cfg;
+  cfg.pool.cards = 2;
+  cfg.pool.slots_per_card = slots_per_card;
+  cfg.admission.max_queue_depth = jobs + 1;
+  svc::JobServer server(cfg);
+  svc::TenantQuota heavy;
+  heavy.weight = 2.0;
+  heavy.max_vgpus = jobs;  // quota counts queued commitments, not just running
+  heavy.max_running = jobs;
+  heavy.max_queued = jobs;
+  svc::TenantQuota light = heavy;
+  light.weight = 1.0;
+  server.add_tenant("a", heavy);
+  server.add_tenant("b", light);
+
+  const svc::JobSpec spec = job_spec();
+  std::vector<int> ids;
+  for (int i = 0; i < jobs; ++i) {
+    auto res = server.submit(i % 2 == 0 ? "a" : "b", spec);
+    if (!res.ok()) {
+      std::fprintf(stderr, "submit rejected: %s\n",
+                   res.decision.message.c_str());
+      std::exit(1);
+    }
+    ids.push_back(res.job_id);
+  }
+  server.run_until_idle();
+
+  Cell cell;
+  double makespan = 0.0;
+  std::vector<double> waits;
+  for (int id : ids) {
+    const svc::JobStatus st = server.status(id);
+    if (st.state != svc::JobState::kDone) {
+      std::fprintf(stderr, "job %d ended %s: %s\n", id,
+                   svc::job_state_name(st.state), st.error.c_str());
+      std::exit(1);
+    }
+    makespan = std::max(makespan, st.finish_vnow);
+    waits.push_back(st.queue_wait);
+  }
+  cell.throughput = static_cast<double>(jobs) / makespan;
+  cell.wait_p50 = percentile(waits, 50.0);
+  cell.wait_p99 = percentile(waits, 99.0);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Service layer — multi-tenant throughput and queue-wait latency",
+      "2 physical cards; tenants a:b at 2:1 weights submit identical "
+      "modeled cmeans jobs (20k points, 20 iterations). Virtual-time "
+      "measurements; oversubscription = vGPU slots per card.");
+
+  const std::vector<int> job_counts{2, 4, 8, 16};
+  const std::vector<int> slot_counts{1, 2, 4};
+  for (int slots : slot_counts) {
+    TextTable t({"jobs", "vGPU slots", "throughput (jobs/vs)",
+                 "queue wait p50 (vs)", "queue wait p99 (vs)"});
+    for (int jobs : job_counts) {
+      const Cell c = run_batch(jobs, slots);
+      char tp[32], p50[32], p99[32];
+      std::snprintf(tp, sizeof(tp), "%.4f", c.throughput);
+      std::snprintf(p50, sizeof(p50), "%.4f", c.wait_p50);
+      std::snprintf(p99, sizeof(p99), "%.4f", c.wait_p99);
+      t.add_row({std::to_string(jobs),
+                 std::to_string(slots) + "x" +
+                     (slots == 1 ? " (no oversub)" : ""),
+                 tp, p50, p99});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: total throughput is flat in every configuration — the "
+      "physical cards are the bottleneck and time-slicing conserves work. "
+      "Oversubscription admits jobs to vGPUs earlier, trimming the median "
+      "first-grant wait under load, but tail latency is set by fair-share "
+      "order (FIFO within a tenant, stride across tenants), not by slot "
+      "count.\n");
+  return 0;
+}

@@ -299,6 +299,9 @@ IterativeResult<K, V> run_iterative(
 
   int iter = start_iter;
   while (iter < max_iterations && !finished) {
+    // Multi-tenant service gate: the job server interleaves concurrent
+    // jobs at this boundary (and cancels cooperatively by throwing).
+    if (cfg.stage_gate) cfg.stage_gate(iter);
     iter_cfg.charge_job_startup = cfg.charge_job_startup && iter == 0;
 
     // Broadcast the evolving state (cluster centers etc.).

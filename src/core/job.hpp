@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -144,6 +145,14 @@ struct JobConfig {
 
   /// Tolerance knobs; read only when `faults` is set.
   FaultToleranceConfig tolerance;
+
+  /// Service-layer hook (prs::svc): when set, run_iterative invokes it at
+  /// every iteration boundary (before the iteration's broadcast/run_job).
+  /// The multi-tenant job server parks the job's thread here until its
+  /// fair-share scheduler grants the next time slice; throwing aborts the
+  /// job between iterations (cooperative cancellation). Unset (the
+  /// default) costs one bool check per iteration and changes nothing.
+  std::function<void(int iteration)> stage_gate;
 
   /// Ranks known dead before the job starts (e.g. from a crash detected in a
   /// previous iteration of run_iterative). The fault-tolerant path excludes

@@ -130,6 +130,10 @@ class GpuDevice {
   /// repeated jobs reuse a stream pool instead of growing it per job.
   Stream& stream(int index);
 
+  /// Streams created on this device so far (the service layer reports this
+  /// per-vGPU footprint to the VirtualGpuPool at scheduling gates).
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+
   /// Device-memory accounting. Throws ResourceExhausted past capacity.
   DeviceAllocation allocate(std::uint64_t bytes);
   std::uint64_t memory_used() const { return memory_used_; }

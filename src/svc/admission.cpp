@@ -1,0 +1,89 @@
+#include "svc/admission.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace prs::svc {
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+const char* admit_code_name(AdmitCode code) {
+  switch (code) {
+    case AdmitCode::kOk: return "ok";
+    case AdmitCode::kUnknownTenant: return "unknown_tenant";
+    case AdmitCode::kBadSpec: return "bad_spec";
+    case AdmitCode::kTooLarge: return "too_large";
+    case AdmitCode::kQuotaVgpus: return "quota_vgpus";
+    case AdmitCode::kQuotaMemory: return "quota_memory";
+    case AdmitCode::kQuotaQueued: return "quota_queued";
+    case AdmitCode::kQueueFull: return "queue_full";
+    case AdmitCode::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+AdmitDecision AdmissionController::check(const TenantAccount* tenant,
+                                         const JobSpec& spec,
+                                         int pool_capacity, int global_queued,
+                                         bool draining) const {
+  // Fixed check order: the same server state and spec always yield the same
+  // code and message.
+  if (draining) {
+    return {AdmitCode::kDraining, "server is draining, not accepting jobs"};
+  }
+  if (tenant == nullptr) {
+    return {AdmitCode::kUnknownTenant, "unknown tenant"};
+  }
+  try {
+    spec.validate();
+  } catch (const prs::Error& e) {
+    return {AdmitCode::kBadSpec, e.what()};
+  }
+  const int need = spec.vgpus_needed();
+  if (need > pool_capacity) {
+    return {AdmitCode::kTooLarge,
+            fmt("job needs %d vGPU(s) but the pool only has %d slot(s)", need,
+                pool_capacity)};
+  }
+  const TenantQuota& q = tenant->quota;
+  if (tenant->vgpus_in_use + need > q.max_vgpus) {
+    return {AdmitCode::kQuotaVgpus,
+            fmt("tenant '%s' vGPU quota exceeded: job needs %d, quota %d, "
+                "%d already committed",
+                tenant->name.c_str(), need, q.max_vgpus,
+                tenant->vgpus_in_use)};
+  }
+  if (q.gpu_mem_bytes > 0 && spec.gpu_mem_bytes > q.gpu_mem_bytes) {
+    return {AdmitCode::kQuotaMemory,
+            fmt("tenant '%s' memory quota exceeded: job requests %llu bytes "
+                "per vGPU, quota %llu",
+                tenant->name.c_str(),
+                static_cast<unsigned long long>(spec.gpu_mem_bytes),
+                static_cast<unsigned long long>(q.gpu_mem_bytes))};
+  }
+  if (tenant->queued >= q.max_queued) {
+    return {AdmitCode::kQuotaQueued,
+            fmt("tenant '%s' queue is full (%d job(s) queued, bound %d)",
+                tenant->name.c_str(), tenant->queued, q.max_queued)};
+  }
+  if (global_queued >= cfg_.max_queue_depth) {
+    return {AdmitCode::kQueueFull,
+            fmt("server queue is full (%d job(s) queued, bound %d)",
+                global_queued, cfg_.max_queue_depth)};
+  }
+  return {};
+}
+
+}  // namespace prs::svc

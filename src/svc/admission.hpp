@@ -1,0 +1,57 @@
+// Admission control: decides synchronously, at SUBMIT time, whether a job
+// enters the queue — against the tenant's quotas, the global queue bound
+// and the pool's physical capacity. Rejections are deterministic: the same
+// server state and spec always produce the same code and message, so a
+// quota-breaching client sees a stable, explainable error rather than a
+// race-dependent one.
+#pragma once
+
+#include <string>
+
+#include "svc/job_spec.hpp"
+#include "svc/tenant.hpp"
+
+namespace prs::svc {
+
+enum class AdmitCode {
+  kOk,
+  kUnknownTenant,   // no such tenant registered
+  kBadSpec,         // JobSpec::validate() failed
+  kTooLarge,        // needs more vGPUs than the whole pool has
+  kQuotaVgpus,      // would exceed the tenant's vGPU quota
+  kQuotaMemory,     // requests more per-vGPU memory than the tenant quota
+  kQuotaQueued,     // tenant queue bound reached (per-tenant backpressure)
+  kQueueFull,       // global queue bound reached (server backpressure)
+  kDraining,        // server is draining, no new admissions
+};
+
+const char* admit_code_name(AdmitCode code);
+
+struct AdmitDecision {
+  AdmitCode code = AdmitCode::kOk;
+  std::string message;  // empty on kOk
+
+  bool ok() const { return code == AdmitCode::kOk; }
+};
+
+struct AdmissionConfig {
+  /// Global bound on jobs queued (not yet running) across all tenants.
+  int max_queue_depth = 32;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {}
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+  /// Pure decision function: no side effects, deterministic.
+  AdmitDecision check(const TenantAccount* tenant, const JobSpec& spec,
+                      int pool_capacity, int global_queued,
+                      bool draining) const;
+
+ private:
+  AdmissionConfig cfg_;
+};
+
+}  // namespace prs::svc

@@ -1,0 +1,51 @@
+#include "svc/fair_share.hpp"
+
+#include "common/error.hpp"
+
+namespace prs::svc {
+
+int stride_pick(const std::vector<StrideCandidate>& candidates) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const StrideCandidate& c = candidates[i];
+    PRS_CHECK(c.tenant != nullptr, "stride candidate without a tenant");
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const StrideCandidate& b = candidates[best];
+    if (c.tenant->pass != b.tenant->pass) {
+      if (c.tenant->pass < b.tenant->pass) best = i;
+    } else if (c.tenant->name != b.tenant->name) {
+      if (c.tenant->name < b.tenant->name) best = i;
+    } else if (c.job_id < b.job_id) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void stride_charge(TenantAccount& tenant, double service) {
+  PRS_REQUIRE(service >= 0.0, "negative service charge");
+  PRS_REQUIRE(tenant.quota.weight > 0.0, "tenant weight must be positive");
+  tenant.service += service;
+  tenant.pass += service / tenant.quota.weight;
+}
+
+void stride_clamp_pass(TenantAccount& tenant, double floor_pass) {
+  if (tenant.pass < floor_pass) tenant.pass = floor_pass;
+}
+
+double stride_min_pass(const std::vector<const TenantAccount*>& active) {
+  double min_pass = 0.0;
+  bool seen = false;
+  for (const TenantAccount* t : active) {
+    if (!seen || t->pass < min_pass) {
+      min_pass = t->pass;
+      seen = true;
+    }
+  }
+  return seen ? min_pass : 0.0;
+}
+
+}  // namespace prs::svc

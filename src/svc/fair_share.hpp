@@ -1,0 +1,47 @@
+// Weighted fair-share scheduling via stride scheduling (Waldspurger &
+// Weihl, OSDI '94), on tenants rather than threads.
+//
+// Every tenant carries a `pass` value. Each time one of the tenant's jobs
+// receives a time slice (one stage of virtual time on its vGPUs), the
+// tenant is charged: pass += service / weight. The scheduler always grants
+// the tenant with the minimum pass, so over any busy interval tenant
+// service converges to the weight ratio — a weight-2 tenant gets twice the
+// virtual device-time of a weight-1 tenant, regardless of how many jobs
+// each has in flight.
+//
+// Determinism: ties on pass break by tenant name, then job id, so the grant
+// sequence is a pure function of the submission history.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/tenant.hpp"
+
+namespace prs::svc {
+
+/// One schedulable job: a job id parked at its scheduling gate plus the
+/// account of the tenant that owns it.
+struct StrideCandidate {
+  const TenantAccount* tenant = nullptr;
+  int job_id = -1;
+};
+
+/// Index of the candidate to grant next: minimum tenant pass, ties broken
+/// by tenant name then job id. Returns -1 when `candidates` is empty.
+int stride_pick(const std::vector<StrideCandidate>& candidates);
+
+/// Charges `service` (virtual device-seconds) to the tenant, advancing its
+/// pass by service / weight.
+void stride_charge(TenantAccount& tenant, double service);
+
+/// Clamps a tenant's pass up to `floor_pass` when it (re)enters the
+/// runnable set, so an idle tenant cannot bank credit and then monopolize
+/// the pool (the standard stride join rule).
+void stride_clamp_pass(TenantAccount& tenant, double floor_pass);
+
+/// Minimum pass over tenants that currently have runnable work; the floor
+/// a joining tenant is clamped to. Returns 0 when `active` is empty.
+double stride_min_pass(const std::vector<const TenantAccount*>& active);
+
+}  // namespace prs::svc

@@ -1,0 +1,68 @@
+// The job server's line protocol, shared by the socket front-end, the
+// prs_run client mode and the protocol tests.
+//
+// Requests are single lines: a VERB followed by space-separated operands
+// (key=value tokens for SUBMIT, a job id for STATUS/WAIT/CANCEL):
+//
+//   PING
+//   SUBMIT tenant=alice app=cmeans points=20000 iterations=8 ...
+//   STATUS <job-id>
+//   WAIT <job-id>            (blocks until the job is terminal)
+//   CANCEL <job-id>
+//   STATS                    (svc.* metrics as JSON)
+//   DRAIN                    (stop admitting; running jobs finish)
+//   SHUTDOWN
+//
+// Responses are a single header line — "OK ..." or
+// "ERR code=<code> <message>" — optionally followed by exactly
+// `lines=<n>` continuation lines (job result lines, metrics JSON), so a
+// client always knows how much to read:
+//
+//   OK id=3
+//   OK id=3 state=DONE stages=9 queue_wait=0.25 service=1.5
+//      digest=00aabb... lines=2          (one line on the wire)
+//   <result line 1>
+//   <result line 2>
+//   ERR code=quota_vgpus tenant 'bob' vGPU quota exceeded: ...
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/server.hpp"
+
+namespace prs::svc {
+
+struct Request {
+  std::string verb;                // upper-cased
+  std::vector<std::string> args;   // remaining whitespace-split tokens
+};
+
+/// Splits one request line. Throws prs::InvalidArgument on an empty line.
+Request parse_request(const std::string& line);
+
+/// Parses key=value tokens (SUBMIT operands). Throws prs::InvalidArgument
+/// on a token without '='.
+std::map<std::string, std::string> parse_kv_tokens(
+    const std::vector<std::string>& tokens);
+
+/// Reads an integer attribute out of a response header ("lines=3"),
+/// returning `fallback` when absent.
+long header_field(const std::string& header, const std::string& key,
+                  long fallback);
+
+/// Full response (header + continuation lines, each '\n'-terminated) for a
+/// job status snapshot; shared by the STATUS and WAIT verbs.
+std::string format_status_response(const JobStatus& status);
+
+std::string format_error(const std::string& code, const std::string& message);
+
+/// Executes one request line against the server and returns the full
+/// response text. Sets `*shutdown` when the verb was SHUTDOWN. Blocking
+/// verbs (WAIT) block the calling thread, which is why the socket server
+/// gives every connection its own thread.
+std::string handle_request(JobServer& server, const std::string& line,
+                           bool* shutdown);
+
+}  // namespace prs::svc

@@ -1,0 +1,203 @@
+#include "svc/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "svc/protocol.hpp"
+
+namespace prs::svc {
+namespace {
+
+void fill_addr(const std::string& path, sockaddr_un& addr) {
+  PRS_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "socket path too long: " + path);
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string path, Handler handler)
+    : path_(std::move(path)), handler_(std::move(handler)) {
+  sockaddr_un addr;
+  fill_addr(path_, addr);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PRS_CHECK(listen_fd_ >= 0, "socket() failed");
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("cannot bind " + path_ + ": " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    throw Error("cannot listen on " + path_ + ": " + std::strerror(err));
+  }
+  accept_thread_ = std::thread(&SocketServer::accept_loop, this);
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // A short poll timeout is the portable way to notice stop() without
+    // racing close() against a blocked accept().
+    int r = ::poll(&pfd, 1, 100);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) return;
+    }
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back(&SocketServer::serve_connection, this, fd);
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    auto nl = buffer.find('\n');
+    if (nl == std::string::npos) {
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // client hung up
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    bool shutdown = false;
+    std::string response = handler_(line, &shutdown);
+    const bool ok = write_all(fd, response);
+    if (shutdown) {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_requested_ = true;
+      cv_.notify_all();
+    }
+    if (!ok || shutdown) break;
+  }
+  {
+    // Unregister before close so stop() never touches a recycled fd.
+    std::lock_guard<std::mutex> lk(mu_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+  ::close(fd);
+}
+
+void SocketServer::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return shutdown_requested_ || stopping_; });
+}
+
+void SocketServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Kick connection threads out of blocked read()s: a client that stays
+    // connected (idle) must not be able to wedge shutdown.
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    conns.swap(connections_);
+  }
+  for (auto& t : conns) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+SocketClient::SocketClient(const std::string& path) {
+  sockaddr_un addr;
+  fill_addr(path, addr);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PRS_CHECK(fd_ >= 0, "socket() failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to server at " + path + ": " +
+                std::strerror(err) + " (is prs_serve running?)");
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string SocketClient::read_line() {
+  char chunk[4096];
+  for (;;) {
+    auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string SocketClient::request(const std::string& line) {
+  PRS_REQUIRE(line.find('\n') == std::string::npos,
+              "request must be a single line");
+  if (!write_all(fd_, line + "\n")) {
+    throw Error("write to server failed: " + std::string(std::strerror(errno)));
+  }
+  std::string header = read_line();
+  std::string out = header + "\n";
+  const long extra = header_field(header, "lines", 0);
+  for (long i = 0; i < extra; ++i) out += read_line() + "\n";
+  return out;
+}
+
+}  // namespace prs::svc

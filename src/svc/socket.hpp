@@ -1,0 +1,79 @@
+// Local-socket transport for the job server's line protocol: an AF_UNIX
+// stream listener with one thread per connection (WAIT blocks, so
+// connections must not share a reader thread), and the matching blocking
+// client used by prs_run's --submit/--job-status/... modes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prs::svc {
+
+class SocketServer {
+ public:
+  /// Handler for one request line; returns the full response text and sets
+  /// `*shutdown` to ask the server to stop (the SHUTDOWN verb). Called
+  /// concurrently from connection threads — svc::handle_request over a
+  /// JobServer is safe.
+  using Handler = std::function<std::string(const std::string& line,
+                                            bool* shutdown)>;
+
+  /// Binds and listens on `path` (an existing socket file is replaced) and
+  /// starts the accept loop. Throws prs::Error on bind failure.
+  SocketServer(std::string path, Handler handler);
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+  ~SocketServer();
+
+  const std::string& path() const { return path_; }
+
+  /// Blocks until some connection issued SHUTDOWN (or stop() was called).
+  void wait_for_shutdown();
+
+  /// Stops accepting, closes the listener, joins connection threads and
+  /// unlinks the socket file. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::string path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;  // live fds, shut down by stop()
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+};
+
+/// Blocking client for one server connection.
+class SocketClient {
+ public:
+  /// Connects to the server at `path`; throws prs::Error when the server
+  /// is not reachable.
+  explicit SocketClient(const std::string& path);
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+  ~SocketClient();
+
+  /// Sends one request line and returns the full response: the header line
+  /// plus any `lines=<n>` continuation lines, '\n'-terminated each.
+  std::string request(const std::string& line);
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace prs::svc

@@ -1,0 +1,27 @@
+// The one JobStats serializer: the human text block prs_run prints after a
+// run and the flat JSON object the job server returns from STATUS — both
+// generated from core::visit_stats_fields so a field added to JobStats
+// shows up in every surface automatically (and the duplicated formatting
+// that used to live in prs_run.cpp has a single home).
+#pragma once
+
+#include <string>
+
+#include "core/job.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace prs::svc {
+
+/// The "-- runtime statistics --" block (virtual time, throughput, CPU/GPU
+/// split, task counts, traffic, phase breakdown, host pool). Byte-identical
+/// to the block prs_run historically printed. `pool` adds the host-pool
+/// line when it has executed at least one region; pass nullptr to omit.
+std::string job_stats_text(const core::JobStats& stats, int nodes,
+                           const exec::PoolStats* pool);
+
+/// Every numeric JobStats field as one flat JSON object, in
+/// visit_stats_fields order: {"elapsed":1.25e-01,...}. Deterministic
+/// (field order fixed, %.17g floats) so server status digests are stable.
+std::string job_stats_json(const core::JobStats& stats);
+
+}  // namespace prs::svc

@@ -1,0 +1,52 @@
+// Per-tenant quotas and runtime accounting for the multi-tenant job server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/job.hpp"
+
+namespace prs::svc {
+
+/// Static limits configured per tenant (prs_serve --tenants=…).
+struct TenantQuota {
+  /// Fair-share weight: a weight-2 tenant receives twice the virtual-time
+  /// service of a weight-1 tenant while both have runnable work.
+  double weight = 1.0;
+  /// Max vGPU slots the tenant may hold across its running jobs.
+  int max_vgpus = 8;
+  /// Max jobs running (admitted onto resources) at once.
+  int max_running = 4;
+  /// Max jobs waiting in the tenant's queue (backpressure bound).
+  int max_queued = 8;
+  /// Per-vGPU device-memory quota (bytes; 0 = full physical card). Jobs may
+  /// request less via JobSpec::gpu_mem_bytes, never more.
+  std::uint64_t gpu_mem_bytes = 0;
+};
+
+/// Mutable per-tenant state maintained by the server.
+struct TenantAccount {
+  std::string name;
+  TenantQuota quota;
+
+  // Stride-scheduler state: pass advances by service/weight each time one
+  // of the tenant's jobs finishes a time slice.
+  double pass = 0.0;
+  /// Cumulative virtual device-time service (seconds x vGPUs).
+  double service = 0.0;
+
+  int vgpus_in_use = 0;
+  int running = 0;
+  int queued = 0;
+
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_rejected = 0;
+
+  /// Aggregate statistics over the tenant's completed jobs.
+  core::JobStats stats;
+};
+
+}  // namespace prs::svc

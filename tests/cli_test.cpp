@@ -180,5 +180,95 @@ TEST(Cli, CheckpointFlagsParseAndValidate) {
                      zero, err));
 }
 
+// Regression for the silent-ignore path: --help/--list used to stop the
+// parser, so anything after them — including typos — was accepted without
+// validation. Unknown flags must now fail, naming the flag, no matter
+// where they appear.
+TEST(Cli, UnknownFlagAfterHelpOrListIsRejected) {
+  Options o;
+  std::string err;
+  EXPECT_FALSE(parse({"--list", "--bogus=1"}, o, err));
+  EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+
+  Options o2;
+  EXPECT_FALSE(parse({"--help", "--not-a-flag=2"}, o2, err));
+  EXPECT_NE(err.find("--not-a-flag"), std::string::npos) << err;
+
+  // Valid flags after --help still parse (and --help still wins).
+  Options o3;
+  EXPECT_TRUE(parse({"--help", "--nodes=2"}, o3, err)) << err;
+  EXPECT_TRUE(o3.show_help);
+  EXPECT_EQ(o3.nodes, 2);
+}
+
+TEST(Cli, ThrowingParserNamesTheFlag) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prs_run"));
+  argv.push_back(const_cast<char*>("--list"));
+  argv.push_back(const_cast<char*>("--bogus=1"));
+  try {
+    parse_options_or_throw(static_cast<int>(argv.size()), argv.data());
+    FAIL() << "expected prs::InvalidArgument";
+  } catch (const prs::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+  }
+}
+
+TEST(Cli, NewAppsAccepted) {
+  Options o;
+  std::string err;
+  EXPECT_TRUE(parse({"--app=dgemm", "--functional"}, o, err)) << err;
+  EXPECT_TRUE(parse({"--app=stencil", "--functional"}, o, err)) << err;
+  // Stencil checkpointing is allowed (it snapshots through run_iterative).
+  EXPECT_TRUE(parse({"--app=stencil", "--functional", "--checkpoint-every=2",
+                     "--checkpoint-dir=/tmp/ck"},
+                    o, err))
+      << err;
+}
+
+TEST(Cli, ClientFlagValidation) {
+  Options o;
+  std::string err;
+  // Client actions need --server.
+  EXPECT_FALSE(parse({"--submit"}, o, err));
+  EXPECT_NE(err.find("--server"), std::string::npos) << err;
+  // --server needs an action.
+  Options o2;
+  EXPECT_FALSE(parse({"--server=/tmp/x.sock"}, o2, err));
+  // At most one action.
+  Options o3;
+  EXPECT_FALSE(parse({"--server=/tmp/x.sock", "--submit", "--wait-job=3"},
+                     o3, err));
+  // A full submit line parses.
+  Options o4;
+  EXPECT_TRUE(parse({"--server=/tmp/x.sock", "--tenant=alice", "--submit",
+                     "--app=kmeans", "--gpu-mem=1048576"},
+                    o4, err))
+      << err;
+  EXPECT_EQ(o4.tenant, "alice");
+  EXPECT_EQ(o4.gpu_mem_bytes, 1048576u);
+}
+
+TEST(Cli, OptionsMapToJobSpec) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse({"--app=gmm", "--testbed=bigred2", "--nodes=3",
+                     "--gpus=2", "--points=777", "--policy=adaptive",
+                     "--functional", "--seed=5"},
+                    o, err))
+      << err;
+  svc::JobSpec s = to_job_spec(o);
+  EXPECT_EQ(s.app, "gmm");
+  EXPECT_EQ(s.testbed, "bigred2");
+  EXPECT_EQ(s.policy, "adaptive");
+  EXPECT_EQ(s.nodes, 3);
+  EXPECT_EQ(s.gpus, 2);
+  EXPECT_EQ(s.points, 777u);
+  EXPECT_TRUE(s.functional);
+  EXPECT_EQ(s.seed, 5u);
+  EXPECT_EQ(s.vgpus_needed(), 6);
+  EXPECT_NO_THROW(s.validate());
+}
+
 }  // namespace
 }  // namespace prs::tools

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstring>
 
+#include "common/error.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace prs::tools {
@@ -38,7 +39,8 @@ std::string usage() {
   return R"(prs_run — run an SPMD application on a simulated CPU+GPU cluster
 
 usage: prs_run [options]
-  --app=NAME          cmeans | kmeans | gmm | gemv | fft | wordcount
+  --app=NAME          cmeans | kmeans | gmm | gemv | dgemm | fft |
+                      wordcount | stencil
   --testbed=NAME      delta (default) | bigred2 | phi
   --nodes=N           fat nodes in the cluster (default 4)
   --gpus=N            GPU cards per node (default 1)
@@ -46,7 +48,9 @@ usage: prs_run [options]
   --dims=D            point dimensionality (clustering apps)
   --clusters=M        clusters / mixture components
   --iterations=I      max iterations (iterative apps)
-  --rows=M --cols=N   GEMV shape; --cols is also the FFT signal size
+  --rows=M --cols=N   GEMV/DGEMM shape (--dims is DGEMM's K and the
+                      stencil grid's rows); --cols is also the FFT
+                      signal size
   --scheduling=MODE   static (default, Eq (8)) | dynamic (block polling)
   --policy=NAME       level-2 scheduling policy: static | dynamic |
                       adaptive (analytic p refined per iteration from
@@ -77,6 +81,20 @@ usage: prs_run [options]
                       chrome://tracing or https://ui.perfetto.dev)
   --metrics=FILE      write runtime metrics (JSON if FILE ends in .json,
                       CSV otherwise)
+
+client mode (against a running prs_serve; see DESIGN.md "Service layer"):
+  --server=PATH       the prs_serve unix socket; required by all actions
+  --tenant=NAME       tenant identity for --submit (default "default")
+  --submit            submit this job to the server, wait for it and print
+                      its result lines (digests match a single-shot run)
+  --gpu-mem=BYTES     per-vGPU device-memory quota to request with --submit
+  --job-status=ID     print one job's status line
+  --wait-job=ID       block until a job is terminal, print its results
+  --cancel-job=ID     cancel a queued or running job
+  --server-stats      print the server's svc.* metrics as JSON
+  --drain-server      stop admissions; running jobs finish
+  --shutdown-server   stop the server
+
   --list              list apps and testbeds
   --help              this text
 )";
@@ -85,13 +103,16 @@ usage: prs_run [options]
 bool parse_options(int argc, char** argv, Options& out, std::string& error) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // --help/--list do NOT stop parsing: every later flag is still
+    // validated, so a typo after them fails loudly instead of being
+    // silently ignored.
     if (arg == "--help" || arg == "-h") {
       out.show_help = true;
-      return true;
+      continue;
     }
     if (arg == "--list") {
       out.show_list = true;
-      return true;
+      continue;
     }
     if (arg == "--functional") {
       out.functional = true;
@@ -107,6 +128,22 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
     }
     if (arg == "--resume") {
       out.resume = true;
+      continue;
+    }
+    if (arg == "--submit") {
+      out.submit = true;
+      continue;
+    }
+    if (arg == "--server-stats") {
+      out.server_stats = true;
+      continue;
+    }
+    if (arg == "--drain-server") {
+      out.drain_server = true;
+      continue;
+    }
+    if (arg == "--shutdown-server") {
+      out.shutdown_server = true;
       continue;
     }
     const auto eq = arg.find('=');
@@ -175,6 +212,20 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
     } else if (key == "metrics") {
       out.metrics_path = val;
       ok = !val.empty();
+    } else if (key == "server") {
+      out.server_socket = val;
+      ok = !val.empty();
+    } else if (key == "tenant") {
+      out.tenant = val;
+      ok = !val.empty();
+    } else if (key == "job-status") {
+      ok = parse_int(val, out.job_status) && out.job_status >= 1;
+    } else if (key == "wait-job") {
+      ok = parse_int(val, out.wait_job) && out.wait_job >= 1;
+    } else if (key == "cancel-job") {
+      ok = parse_int(val, out.cancel_job) && out.cancel_job >= 1;
+    } else if (key == "gpu-mem") {
+      ok = parse_u64(val, out.gpu_mem_bytes) && out.gpu_mem_bytes > 0;
     } else {
       error = "unknown option: --" + key + " (see --help)";
       return false;
@@ -197,9 +248,10 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
     return false;
   }
   if (!out.checkpoint_dir.empty()) {
-    if (out.app != "cmeans" && out.app != "kmeans" && out.app != "gmm") {
+    if (out.app != "cmeans" && out.app != "kmeans" && out.app != "gmm" &&
+        out.app != "stencil") {
       error = "checkpointing supports the iterative apps only "
-              "(--app=cmeans|kmeans|gmm)";
+              "(--app=cmeans|kmeans|gmm|stencil)";
       return false;
     }
     if (!out.functional) {
@@ -212,7 +264,75 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       return false;
     }
   }
+  const int client_actions = (out.submit ? 1 : 0) +
+                             (out.job_status >= 0 ? 1 : 0) +
+                             (out.wait_job >= 0 ? 1 : 0) +
+                             (out.cancel_job >= 0 ? 1 : 0) +
+                             (out.server_stats ? 1 : 0) +
+                             (out.drain_server ? 1 : 0) +
+                             (out.shutdown_server ? 1 : 0);
+  if (client_actions > 1) {
+    error = "client actions (--submit/--job-status/--wait-job/--cancel-job/"
+            "--server-stats/--drain-server/--shutdown-server) are mutually "
+            "exclusive";
+    return false;
+  }
+  if (client_actions == 1 && out.server_socket.empty()) {
+    error = "client actions require --server=PATH (the prs_serve socket)";
+    return false;
+  }
+  if (client_actions == 0 && !out.server_socket.empty()) {
+    error = "--server requires a client action (--submit/--job-status/"
+            "--wait-job/--cancel-job/--server-stats/--drain-server/"
+            "--shutdown-server)";
+    return false;
+  }
+  if (out.submit && out.repeat != 1) {
+    error = "--submit and --repeat are mutually exclusive";
+    return false;
+  }
+  if (out.submit && (!out.trace_path.empty() || !out.metrics_path.empty())) {
+    error = "--trace/--metrics are not supported in client mode (the trace "
+            "lives in the server; see prs_serve --trace)";
+    return false;
+  }
   return true;
+}
+
+Options parse_options_or_throw(int argc, char** argv) {
+  Options out;
+  std::string error;
+  if (!parse_options(argc, argv, out, error)) {
+    throw InvalidArgument(error);
+  }
+  return out;
+}
+
+svc::JobSpec to_job_spec(const Options& o) {
+  svc::JobSpec s;
+  s.app = o.app;
+  s.testbed = o.testbed;
+  s.policy = o.policy_name();
+  s.nodes = o.nodes;
+  s.gpus = o.gpus;
+  s.points = o.points;
+  s.dims = o.dims;
+  s.clusters = o.clusters;
+  s.iterations = o.iterations;
+  s.rows = o.rows;
+  s.cols = o.cols;
+  s.functional = o.functional;
+  s.gpu_only = o.gpu_only;
+  s.cpu_only = o.cpu_only;
+  s.cpu_fraction = o.cpu_fraction;
+  s.seed = o.seed;
+  s.fault_spec = o.fault_spec;
+  s.fault_seed = o.fault_seed;
+  s.checkpoint_every = o.checkpoint_every;
+  s.checkpoint_dir = o.checkpoint_dir;
+  s.resume = o.resume;
+  s.gpu_mem_bytes = o.gpu_mem_bytes;
+  return s;
 }
 
 }  // namespace prs::tools

@@ -11,6 +11,7 @@
 #include "core/cluster.hpp"
 #include "core/job.hpp"
 #include "simdev/device_spec.hpp"
+#include "svc/job_spec.hpp"
 
 namespace prs::tools {
 
@@ -44,6 +45,19 @@ struct Options {
   std::string metrics_path;  // --metrics=FILE: counters/histograms dump
   bool show_help = false;
   bool show_list = false;
+
+  // Client mode against a running prs_serve (see DESIGN.md "Service
+  // layer"). --server selects the socket; exactly one action below.
+  std::string server_socket;   // --server=PATH
+  std::string tenant = "default";  // --tenant=NAME (submit identity)
+  bool submit = false;         // --submit: send job, wait, print results
+  int job_status = -1;         // --job-status=ID
+  int wait_job = -1;           // --wait-job=ID
+  int cancel_job = -1;         // --cancel-job=ID
+  bool server_stats = false;   // --server-stats: dump svc.* metrics JSON
+  bool drain_server = false;   // --drain-server
+  bool shutdown_server = false;  // --shutdown-server
+  std::uint64_t gpu_mem_bytes = 0;  // --gpu-mem=BYTES per-vGPU request
 
   /// Node hardware from the --testbed/--gpus flags.
   core::NodeConfig node_config() const {
@@ -81,8 +95,18 @@ struct Options {
 };
 
 /// Parses argv into `out`. Returns false (and sets `error`) on unknown
-/// options, malformed values, or inconsistent combinations.
+/// options, malformed values, or inconsistent combinations. Unknown flags
+/// are always rejected with a message naming the flag — even when --help
+/// or --list appears earlier on the command line.
 bool parse_options(int argc, char** argv, Options& out, std::string& error);
+
+/// Throwing flavour: returns the parsed options or throws
+/// prs::InvalidArgument with the same message (naming the offending flag).
+Options parse_options_or_throw(int argc, char** argv);
+
+/// The submittable JobSpec equivalent of single-shot options (the fields
+/// prs_run --submit sends over the wire).
+svc::JobSpec to_job_spec(const Options& opt);
 
 /// The --help text.
 std::string usage();

@@ -12,75 +12,37 @@
 //
 // Modeled mode (default for big inputs) charges paper-scale virtual time
 // without allocating the data; functional mode computes real results.
+//
+// With --server=PATH the binary turns into a thin client for a running
+// prs_serve daemon: --submit ships the same job over the line protocol and
+// prints the very same result lines (the job executes through the shared
+// svc::run_job_spec dispatch, so digests are byte-identical).
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "apps/cmeans.hpp"
-#include "apps/fftbatch.hpp"
-#include "apps/gemv.hpp"
-#include "apps/gmm.hpp"
-#include "apps/kmeans.hpp"
-#include "apps/wordcount.hpp"
-#include "ckpt/checkpoint.hpp"
-#include "ckpt/codec.hpp"
-#include "ckpt/store.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/cluster.hpp"
 #include "core/schedule_policy.hpp"
-#include "data/dataset.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/store.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
+#include "svc/launcher.hpp"
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+#include "svc/stats_io.hpp"
 #include "tools/cli_options.hpp"
 
 namespace {
 
 using namespace prs;
-
-void print_stats(const core::JobStats& s, int nodes) {
-  std::printf("\n-- runtime statistics --\n");
-  std::printf("virtual time        %s\n",
-              units::format_time(s.elapsed).c_str());
-  std::printf("throughput          %s (%s per node)\n",
-              units::format_flops(s.flops_rate()).c_str(),
-              units::format_flops(s.flops_rate() / nodes).c_str());
-  std::printf("CPU / GPU flops     %.3g / %.3g (CPU share %.1f%%)\n",
-              s.cpu_flops, s.gpu_flops,
-              s.total_flops() > 0 ? s.cpu_flops / s.total_flops() * 100 : 0);
-  std::printf("map tasks           %llu (+%llu reduce)\n",
-              static_cast<unsigned long long>(s.map_tasks),
-              static_cast<unsigned long long>(s.reduce_tasks));
-  std::printf("PCI-E traffic       %s\n",
-              units::format_bytes(s.pcie_bytes).c_str());
-  std::printf("network traffic     %s\n",
-              units::format_bytes(s.network_bytes).c_str());
-  const double phases = s.startup_time + s.map_time + s.shuffle_time +
-                        s.reduce_time + s.gather_time;
-  if (phases > 0) {
-    std::printf(
-        "phase breakdown     startup %.0f%% | map %.0f%% | shuffle %.0f%% | "
-        "reduce %.0f%% | gather %.0f%%\n",
-        s.startup_time / phases * 100, s.map_time / phases * 100,
-        s.shuffle_time / phases * 100, s.reduce_time / phases * 100,
-        s.gather_time / phases * 100);
-  }
-  const exec::PoolStats pool = exec::ThreadPool::instance().stats();
-  if (pool.jobs > 0) {
-    std::printf(
-        "host pool           %d thread(s) | %llu region(s) | %llu chunks "
-        "(%llu stolen) | occupancy %.0f%%\n",
-        pool.threads, static_cast<unsigned long long>(pool.jobs),
-        static_cast<unsigned long long>(pool.chunks),
-        static_cast<unsigned long long>(pool.stolen_chunks),
-        pool.occupancy() * 100.0);
-  }
-}
 
 void print_fault_summary(const fault::FaultInjector& inj,
                          const core::JobStats& s) {
@@ -132,145 +94,6 @@ void print_node_table(core::Cluster& cluster, double elapsed) {
   t.print();
 }
 
-/// 16-hex-digit FNV digest of a Writer's encoded bytes. CI diffs this line
-/// between fault-free, crashed+resumed, and checkpoint-disabled runs.
-std::string state_digest(const ckpt::Writer& w) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(ckpt::fnv1a64(w.bytes())));
-  return buf;
-}
-
-core::JobStats run_app(const tools::Options& opt, core::Cluster& cluster,
-                       const core::NodeConfig& node,
-                       const core::JobConfig& cfg, Rng& rng,
-                       const ckpt::CheckpointConfig* checkpoint) {
-  const auto& sched = cluster.scheduler(0);
-  core::JobStats stats;
-
-  if (opt.app == "cmeans" || opt.app == "kmeans") {
-    const double ai = opt.app == "cmeans"
-                          ? apps::cmeans_arithmetic_intensity(opt.clusters)
-                          : apps::kmeans_arithmetic_intensity(opt.clusters);
-    std::printf("%s: N=%zu D=%zu M=%d iters<=%d | AI=%g -> p=%.1f%%\n",
-                opt.app.c_str(), opt.points, opt.dims, opt.clusters,
-                opt.iterations, ai,
-                sched.workload_split(ai, false, node.gpus_per_node)
-                        .cpu_fraction *
-                    100.0);
-    if (opt.functional) {
-      auto ds = data::generate_blobs(rng, opt.points, opt.dims,
-                                     opt.clusters, 10.0, 1.0);
-      if (opt.app == "cmeans") {
-        apps::CmeansParams p;
-        p.clusters = opt.clusters;
-        p.max_iterations = opt.iterations;
-        p.seed = opt.seed;
-        auto res = apps::cmeans_prs(cluster, ds.points, p, cfg, &stats,
-                                    checkpoint);
-        std::printf("converged in %d iterations, J_m = %.6g\n",
-                    res.iterations, res.objective);
-        ckpt::Writer w;
-        ckpt::put_matrix(w, res.centers);
-        w.f64(res.objective);
-        std::printf("cmeans state digest: %s\n", state_digest(w).c_str());
-      } else {
-        apps::KmeansParams p;
-        p.clusters = opt.clusters;
-        p.max_iterations = opt.iterations;
-        p.seed = opt.seed;
-        auto res = apps::kmeans_prs(cluster, ds.points, p, cfg, &stats,
-                                    checkpoint);
-        std::printf("converged in %d iterations, inertia = %.6g\n",
-                    res.iterations, res.inertia);
-        ckpt::Writer w;
-        ckpt::put_matrix(w, res.centers);
-        w.f64(res.inertia);
-        std::printf("kmeans state digest: %s\n", state_digest(w).c_str());
-      }
-    } else if (opt.app == "cmeans") {
-      apps::CmeansParams p;
-      p.clusters = opt.clusters;
-      p.max_iterations = opt.iterations;
-      stats = apps::cmeans_prs_modeled(cluster, opt.points, opt.dims, p, cfg);
-    } else {
-      apps::KmeansParams p;
-      p.clusters = opt.clusters;
-      p.max_iterations = opt.iterations;
-      stats = apps::kmeans_prs_modeled(cluster, opt.points, opt.dims, p, cfg);
-    }
-  } else if (opt.app == "gmm") {
-    const double ai =
-        apps::gmm_arithmetic_intensity(opt.clusters, opt.dims);
-    std::printf("gmm: N=%zu D=%zu M=%d iters<=%d | AI=%g -> p=%.1f%%\n",
-                opt.points, opt.dims, opt.clusters, opt.iterations, ai,
-                sched.workload_split(ai, false, node.gpus_per_node)
-                        .cpu_fraction *
-                    100.0);
-    if (opt.functional) {
-      auto ds = data::generate_blobs(rng, opt.points, opt.dims,
-                                     opt.clusters, 10.0, 1.0);
-      apps::GmmParams p;
-      p.components = opt.clusters;
-      p.max_iterations = opt.iterations;
-      p.seed = opt.seed;
-      auto model = apps::gmm_prs(cluster, ds.points, p, cfg, &stats,
-                                 checkpoint);
-      std::printf("converged in %d iterations, log-likelihood = %.6g\n",
-                  model.iterations, model.log_likelihood);
-      ckpt::Writer w;
-      w.u64(model.weights.size());
-      for (double wm : model.weights) w.f64(wm);
-      ckpt::put_matrix(w, model.means);
-      ckpt::put_matrix(w, model.variances);
-      w.f64(model.log_likelihood);
-      std::printf("gmm state digest: %s\n", state_digest(w).c_str());
-    } else {
-      apps::GmmParams p;
-      p.components = opt.clusters;
-      p.max_iterations = opt.iterations;
-      stats = apps::gmm_prs_modeled(cluster, opt.points, opt.dims, p, cfg);
-    }
-  } else if (opt.app == "gemv") {
-    const double ai = apps::gemv_arithmetic_intensity();
-    std::printf("gemv: %zu x %zu | AI=%g -> p=%.1f%%\n", opt.rows, opt.cols,
-                ai,
-                sched.workload_split(ai, true, node.gpus_per_node)
-                        .cpu_fraction *
-                    100.0);
-    if (opt.functional) {
-      auto a = data::random_matrix(rng, opt.rows, opt.cols);
-      auto x = data::random_vector(rng, opt.cols);
-      auto y = apps::gemv_prs(cluster, a, x, cfg, &stats);
-      std::printf("y[0] = %.6g, y[n-1] = %.6g\n", y.front(), y.back());
-    } else {
-      stats = apps::gemv_prs_modeled(cluster, opt.rows, opt.cols, cfg);
-    }
-  } else if (opt.app == "fft") {
-    const double ai = linalg::fft_arithmetic_intensity(opt.cols);
-    std::printf("fft batch: %zu signals x %zu samples | AI=%g -> p=%.1f%%\n",
-                opt.points, opt.cols, ai,
-                sched.workload_split(ai, true, node.gpus_per_node)
-                        .cpu_fraction *
-                    100.0);
-    stats = apps::fft_batch_prs_modeled(cluster, opt.points, opt.cols, cfg);
-  } else if (opt.app == "wordcount") {
-    auto corpus = std::make_shared<const apps::Corpus>(
-        apps::generate_corpus(rng, opt.points, 8, 5000));
-    auto counts = apps::wordcount_prs(cluster, corpus, cfg, &stats);
-    unsigned long long total = 0;
-    for (const auto& [w, c] : counts) total += c;
-    // Deterministic one-line digest of the result (CI diffs this line
-    // between fault-free and fault-injected runs).
-    std::printf("wordcount result: %zu lines, %zu distinct words, "
-                "%llu total occurrences\n",
-                opt.points, counts.size(), total);
-  } else {
-    throw InvalidArgument("unknown --app=" + opt.app + " (try --list)");
-  }
-  return stats;
-}
-
 int run(const tools::Options& opt) {
   // Size the real host pool before any kernel runs; 0 keeps the
   // PRS_HOST_THREADS / hardware_concurrency default. Either way the
@@ -283,21 +106,23 @@ int run(const tools::Options& opt) {
   const bool observing = !opt.trace_path.empty() || !opt.metrics_path.empty();
   if (observing) sim.set_tracer(&tracer);
 
-  core::NodeConfig node = opt.node_config();
-  core::Cluster cluster(sim, opt.nodes, node);
-  core::JobConfig cfg = opt.job_config();
+  const svc::JobSpec spec = tools::to_job_spec(opt);
+  spec.validate();
+  core::NodeConfig node = spec.node_config();
+  core::Cluster cluster(sim, spec.nodes, node);
+  core::JobConfig cfg = spec.job_config();
   // One policy instance for the whole invocation: with --policy=adaptive it
   // keeps its learned per-node fractions across --repeat runs.
-  auto policy = core::make_policy(opt.policy_name());
+  auto policy = core::make_policy(spec.policy);
   cfg.policy = policy.get();
-  Rng rng(opt.seed);
+  Rng rng(spec.seed);
 
   // Fault injection: parse the spec into a plan and attach the injector to
   // the job config; run_job then takes the fault-tolerant path.
   std::unique_ptr<fault::FaultInjector> injector;
-  if (!opt.fault_spec.empty()) {
+  if (!spec.fault_spec.empty()) {
     injector = std::make_unique<fault::FaultInjector>(
-        sim, fault::FaultPlan::parse(opt.fault_spec), opt.fault_seed);
+        sim, fault::FaultPlan::parse(spec.fault_spec), spec.fault_seed);
     cfg.faults = injector.get();
   }
 
@@ -307,27 +132,32 @@ int run(const tools::Options& opt) {
   std::unique_ptr<ckpt::FileCheckpointStore> store;
   ckpt::CheckpointConfig ckpt_cfg;
   const ckpt::CheckpointConfig* checkpoint = nullptr;
-  if (!opt.checkpoint_dir.empty()) {
-    store = std::make_unique<ckpt::FileCheckpointStore>(opt.checkpoint_dir);
+  if (!spec.checkpoint_dir.empty()) {
+    store = std::make_unique<ckpt::FileCheckpointStore>(spec.checkpoint_dir);
     ckpt_cfg.store = store.get();
-    ckpt_cfg.interval = opt.checkpoint_every > 0 ? opt.checkpoint_every : 1;
-    ckpt_cfg.recover = opt.resume;
+    ckpt_cfg.interval = spec.checkpoint_every > 0 ? spec.checkpoint_every : 1;
+    ckpt_cfg.recover = spec.resume;
     ckpt_cfg.on_crash = ckpt::OnCrash::kHalt;
-    ckpt_cfg.prefix = opt.app;
-    ckpt_cfg.run_seed = opt.seed;
-    ckpt_cfg.fault_seed = opt.fault_seed;
+    ckpt_cfg.prefix = spec.app;
+    ckpt_cfg.run_seed = spec.seed;
+    ckpt_cfg.fault_seed = spec.fault_seed;
     checkpoint = &ckpt_cfg;
     std::printf("checkpointing every %d iteration(s) to %s%s\n",
-                ckpt_cfg.interval, opt.checkpoint_dir.c_str(),
-                opt.resume ? " (resuming from the latest snapshot)" : "");
+                ckpt_cfg.interval, spec.checkpoint_dir.c_str(),
+                spec.resume ? " (resuming from the latest snapshot)" : "");
   }
 
   for (int rep = 0; rep < opt.repeat; ++rep) {
     if (opt.repeat > 1) std::printf("\n=== run %d/%d ===\n", rep + 1, opt.repeat);
-    core::JobStats stats = run_app(opt, cluster, node, cfg, rng, checkpoint);
-    print_stats(stats, opt.nodes);
-    if (injector != nullptr) print_fault_summary(*injector, stats);
-    print_node_table(cluster, stats.elapsed);
+    // The same dispatch the job server uses — one code path, one digest.
+    svc::LaunchOutcome out =
+        svc::run_job_spec(spec, cluster, node, cfg, rng, checkpoint);
+    for (const std::string& line : out.lines) std::printf("%s\n", line.c_str());
+    const exec::PoolStats pool = exec::ThreadPool::instance().stats();
+    std::fputs(svc::job_stats_text(out.stats, spec.nodes, &pool).c_str(),
+               stdout);
+    if (injector != nullptr) print_fault_summary(*injector, out.stats);
+    print_node_table(cluster, out.stats.elapsed);
     if (const auto* ap =
             dynamic_cast<const core::AdaptiveFeedbackPolicy*>(policy.get())) {
       std::printf("\n-- adaptive policy --\n");
@@ -371,6 +201,52 @@ int run(const tools::Options& opt) {
   return rc;
 }
 
+/// Prints one protocol response; returns 0 on an OK header, 1 on ERR.
+int print_response(const std::string& response) {
+  const bool ok = response.rfind("OK", 0) == 0;
+  std::fputs(response.c_str(), ok ? stdout : stderr);
+  return ok ? 0 : 1;
+}
+
+/// Client mode: one request (or submit+wait) against a running prs_serve.
+int client_run(const tools::Options& opt) {
+  svc::SocketClient client(opt.server_socket);
+  if (opt.submit) {
+    const svc::JobSpec spec = tools::to_job_spec(opt);
+    std::string line = "SUBMIT tenant=" + opt.tenant;
+    const std::string tokens = spec.to_tokens();
+    if (!tokens.empty()) line += " " + tokens;
+    const std::string submitted = client.request(line);
+    if (print_response(submitted) != 0) return 1;
+    const long id = svc::header_field(submitted, "id", -1);
+    if (id < 0) {
+      std::fprintf(stderr, "error: server response carried no job id\n");
+      return 1;
+    }
+    const std::string done = client.request("WAIT " + std::to_string(id));
+    int rc = print_response(done);
+    if (rc == 0 && done.find(" state=DONE") == std::string::npos) rc = 1;
+    return rc;
+  }
+  if (opt.job_status >= 0) {
+    return print_response(
+        client.request("STATUS " + std::to_string(opt.job_status)));
+  }
+  if (opt.wait_job >= 0) {
+    return print_response(
+        client.request("WAIT " + std::to_string(opt.wait_job)));
+  }
+  if (opt.cancel_job >= 0) {
+    return print_response(
+        client.request("CANCEL " + std::to_string(opt.cancel_job)));
+  }
+  if (opt.server_stats) return print_response(client.request("STATS"));
+  if (opt.drain_server) return print_response(client.request("DRAIN"));
+  if (opt.shutdown_server) return print_response(client.request("SHUTDOWN"));
+  std::fprintf(stderr, "error: no client action\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -386,12 +262,13 @@ int main(int argc, char** argv) {
   }
   if (opt.show_list) {
     std::printf(
-        "apps: cmeans kmeans gmm gemv fft wordcount\n"
+        "apps: cmeans kmeans gmm gemv dgemm fft wordcount stencil\n"
         "testbeds: delta (Xeon 5660 + C2070), bigred2 (Opteron + K20), "
         "phi (Xeon + Phi 5110P)\n");
     return 0;
   }
   try {
+    if (!opt.server_socket.empty()) return client_run(opt);
     return run(opt);
   } catch (const prs::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
