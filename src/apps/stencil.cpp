@@ -17,8 +17,10 @@ void validate_grid(const linalg::MatrixD& grid) {
               "stencil needs at least a 3x3 grid");
 }
 
-/// Relaxes interior rows [begin, end) of `in` into per-row output vectors;
-/// returns the block's max |update|.
+}  // namespace
+
+namespace stencil_detail {
+
 double relax_rows(const linalg::MatrixD& in, std::size_t begin,
                   std::size_t end, std::vector<double>& out) {
   const std::size_t cols = in.cols();
@@ -46,6 +48,10 @@ double relax_rows(const linalg::MatrixD& in, std::size_t begin,
       [](double a, double b) { return std::max(a, b); });
 }
 
+}  // namespace stencil_detail
+
+namespace {
+using stencil_detail::relax_rows;
 }  // namespace
 
 double jacobi_step(const linalg::MatrixD& in, linalg::MatrixD& out) {
@@ -160,6 +166,15 @@ StencilResult stencil_prs(core::Cluster& cluster,
                           const ckpt::CheckpointConfig* checkpoint) {
   validate_grid(initial);
   PRS_REQUIRE(params.max_iterations >= 1, "need at least one iteration");
+  // The wavefront halo graph replaces the per-iteration MapReduce rounds
+  // when the task-graph engine pipelines iterations. Fault injection and
+  // checkpointing need the iterative driver's cut points, so they stay on
+  // the stage path (as does modeled mode, whose map bodies are empty).
+  if (cfg.engine == core::ExecEngine::kGraph && cfg.pipeline_depth > 1 &&
+      cfg.mode == core::ExecutionMode::kFunctional &&
+      cfg.faults == nullptr && checkpoint == nullptr) {
+    return stencil_graph(cluster, initial, params, cfg, stats_out);
+  }
   const std::size_t cols = initial.cols();
   const std::size_t interior_rows = initial.rows() - 2;
 

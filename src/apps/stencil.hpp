@@ -61,12 +61,36 @@ ckpt::StateCodec stencil_state_codec(std::shared_ptr<StencilState> state,
                                      int* iterations = nullptr);
 
 /// Distributed relaxation on the cluster; numerically identical to
-/// stencil_serial.
+/// stencil_serial. With the task-graph engine at pipeline_depth > 1 (and no
+/// faults/checkpointing, functional mode) this routes to stencil_graph.
 StencilResult stencil_prs(core::Cluster& cluster,
                           const linalg::MatrixD& initial,
                           const StencilParams& params,
                           const core::JobConfig& cfg,
                           core::JobStats* stats_out = nullptr,
                           const ckpt::CheckpointConfig* checkpoint = nullptr);
+
+/// Wavefront halo-graph relaxation — the task-graph showcase shape. Each
+/// iteration's row block depends only on its three neighbour blocks of the
+/// previous iteration (cross-rank neighbours through explicit halo
+/// send/recv nodes), so fast blocks run up to `pipeline_depth` iterations
+/// ahead of slow ones instead of meeting at a global per-iteration barrier.
+/// Convergence is checked by per-iteration retire nodes over the exact
+/// block-residual max; Jacobi is cell-deterministic, so grid and iteration
+/// count are byte-identical to stencil_serial / stencil_prs for any depth.
+/// Requires functional mode; faults and checkpointing take the stage path.
+StencilResult stencil_graph(core::Cluster& cluster,
+                            const linalg::MatrixD& initial,
+                            const StencilParams& params,
+                            const core::JobConfig& cfg,
+                            core::JobStats* stats_out = nullptr);
+
+namespace stencil_detail {
+/// Relaxes interior rows [begin, end) of `in` into per-row output vectors;
+/// returns the block's max |update| (exact for any thread count). Shared by
+/// the map closures and the halo-graph block bodies.
+double relax_rows(const linalg::MatrixD& in, std::size_t begin,
+                  std::size_t end, std::vector<double>& out);
+}  // namespace stencil_detail
 
 }  // namespace prs::apps

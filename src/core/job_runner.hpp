@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/fault_tolerant.hpp"
+#include "core/job_graph.hpp"
 #include "core/partitioner.hpp"
 #include "core/pipeline.hpp"
 #include "core/schedule_policy.hpp"
@@ -191,39 +192,18 @@ JobResult<K, V> run_job(Cluster& cluster, const MapReduceSpec<K, V>& spec,
                                           policy);
   }
 
-  auto st = std::make_shared<detail::JobState<K, V>>();
-  st->spec = &spec;
-  st->cfg = cfg;
-  st->n_items = n_items;
+  // Graph engine: the same stages built as one task graph per job.
+  // Dynamic scheduling keeps the channel-polling daemons of the stage
+  // runner — its block assignment is inherently time-driven, not a static
+  // dependency structure.
+  if (cfg.engine == ExecEngine::kGraph &&
+      policy->dispatch() == SchedulingMode::kStatic) {
+    return detail::run_job_graph<K, V>(cluster, spec, cfg, n_items, policy);
+  }
 
-  // Per-node level-2 decisions (Eq (8) or learned p, per node's hardware).
+  // Level-1/level-2 scheduling decisions (shared with the graph engine).
   const int nodes = cluster.size();
-  const JobShape shape = detail::job_shape(spec);
-  st->cpu_fraction.resize(static_cast<std::size_t>(nodes), 0.0);
-  st->gpu_streams.resize(static_cast<std::size_t>(nodes), 1);
-  std::vector<double> capability(static_cast<std::size_t>(nodes), 0.0);
-  for (int r = 0; r < nodes; ++r) {
-    const auto rk = static_cast<std::size_t>(r);
-    const NodeDecision d = policy->node_decision(cluster, shape, cfg, r);
-    st->cpu_fraction[rk] = d.cpu_fraction;
-    capability[rk] = d.capability;
-  }
-
-  // Level-1 master scheduling: capability-weighted shares, each chopped
-  // into partitions_per_node partitions (all equal in the homogeneous
-  // case, reproducing the paper's round-robin).
-  st->node_partitions =
-      Partitioner::partition(n_items, capability, cfg.partitions_per_node);
-
-  // GPU granularity: streams per Eqs (9)-(11), per node.
-  for (int r = 0; r < nodes; ++r) {
-    const auto rk = static_cast<std::size_t>(r);
-    std::size_t node_items = 0;
-    for (const auto& p : st->node_partitions[rk]) node_items += p.size();
-    st->gpu_streams[rk] = policy->gpu_streams(cluster, shape, cfg, r,
-                                              node_items,
-                                              st->cpu_fraction[rk]);
-  }
+  auto st = detail::make_job_state(cluster, spec, cfg, n_items, policy);
 
   // Snapshot counters, run, and diff.
   const double t0 = sim.now();

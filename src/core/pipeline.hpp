@@ -261,24 +261,37 @@ class MapStage {
     return est_tasks * calib::kPrsTaskDispatch;
   }
 
-  /// Static dispatch of one partition: CPU share into multiplier x cores
-  /// blocks, GPU share into one block per stream. Pure enqueue, no await.
-  void dispatch_static(const InputSlice& partition) {
-    auto& st = *ctx_.st;
+  /// One GPU map block of a static plan, pinned to (card, stream) by the
+  /// paper's round-robin (§III.C.1).
+  struct GpuBlockPlan {
+    InputSlice slice;
+    int card = 0;
+    int stream = 0;
+  };
+
+  /// The static sub-task plan for one partition: CPU share into
+  /// multiplier x cores blocks, GPU share into one block per (card,
+  /// stream) round-robin. Pure description — shared by the legacy enqueue
+  /// below and the task-graph builder (core/job_graph.hpp), so both paths
+  /// produce the same blocks in the same order.
+  struct StaticPlan {
+    std::vector<InputSlice> cpu_blocks;
+    std::vector<GpuBlockPlan> gpu_blocks;
+  };
+
+  StaticPlan plan_static(const InputSlice& partition) const {
+    const auto& st = *ctx_.st;
     FatNode& node = ctx_.node();
-    const auto& spec = ctx_.spec();
     const int streams = st.gpu_streams[ctx_.rk()];
     auto [cpu_part, gpu_part] =
         partition.split_at_fraction(st.cpu_fraction[ctx_.rk()]);
-
+    StaticPlan plan;
     if (!cpu_part.empty()) {
       const int n_blocks = roofline::AnalyticScheduler::cpu_block_count(
           node.cpu().cores(), st.cfg.cpu_block_multiplier);
       for (const InputSlice& b :
            cpu_part.blocks(static_cast<std::size_t>(n_blocks))) {
-        simdev::CpuTask t = make_cpu_map_task(st, batch_, b);
-        batch_.futures.push_back(node.cpu().submit(std::move(t)));
-        ++st.map_tasks;
+        plan.cpu_blocks.push_back(b);
       }
     }
     if (!gpu_part.empty() && node.gpu_count() > 0) {
@@ -288,20 +301,40 @@ class MapStage {
       const auto n_blocks = static_cast<std::size_t>(streams) * cards;
       std::size_t i = 0;
       for (const InputSlice& b : gpu_part.blocks(n_blocks)) {
-        auto& gpu = node.gpu(static_cast<int>(i % cards));
-        simdev::Stream& stream =
-            gpu.stream(static_cast<int>((i / cards) %
-                                        static_cast<std::size_t>(streams)));
+        GpuBlockPlan gb;
+        gb.slice = b;
+        gb.card = static_cast<int>(i % cards);
+        gb.stream = static_cast<int>(
+            (i / cards) % static_cast<std::size_t>(streams));
         ++i;
-        if (!spec.gpu_data_cached) {
-          batch_.futures.push_back(stream.memcpy_h2d(
-              static_cast<double>(b.size()) * spec.item_bytes));
-        }
-        simdev::KernelDesc k = make_gpu_map_kernel(st, batch_, b);
-        batch_.futures.push_back(stream.launch(std::move(k)));
-        batch_.gpu_items += b.size();
-        ++st.map_tasks;
+        plan.gpu_blocks.push_back(gb);
       }
+    }
+    return plan;
+  }
+
+  /// Static dispatch of one partition: enqueues every planned block on its
+  /// device. Pure enqueue, no await.
+  void dispatch_static(const InputSlice& partition) {
+    auto& st = *ctx_.st;
+    FatNode& node = ctx_.node();
+    const auto& spec = ctx_.spec();
+    const StaticPlan plan = plan_static(partition);
+    for (const InputSlice& b : plan.cpu_blocks) {
+      simdev::CpuTask t = make_cpu_map_task(st, batch_, b);
+      batch_.futures.push_back(node.cpu().submit(std::move(t)));
+      ++st.map_tasks;
+    }
+    for (const GpuBlockPlan& gb : plan.gpu_blocks) {
+      simdev::Stream& stream = node.gpu(gb.card).stream(gb.stream);
+      if (!spec.gpu_data_cached) {
+        batch_.futures.push_back(stream.memcpy_h2d(
+            static_cast<double>(gb.slice.size()) * spec.item_bytes));
+      }
+      simdev::KernelDesc k = make_gpu_map_kernel(st, batch_, gb.slice);
+      batch_.futures.push_back(stream.launch(std::move(k)));
+      batch_.gpu_items += gb.slice.size();
+      ++st.map_tasks;
     }
   }
 

@@ -1,0 +1,99 @@
+// Dependency-driven task graph (StarPU-style codelets over the simulator).
+//
+// A TaskGraph is a DAG of named nodes; an edge (a -> b) means "b may not
+// start until a completed". Nodes come in two flavors:
+//
+//   * host nodes  — a plain std::function<void()> that runs synchronously
+//     at dispatch time (zero virtual time). Used for merges, bookkeeping,
+//     convergence checks and stage-gate callbacks.
+//   * work nodes  — a coroutine factory (WorkFn) that the executor spawns
+//     as a simulator process. The factory receives a Promise<Unit> it must
+//     resolve when the node's virtual-time work (CPU task, GPU kernel,
+//     PCI-E copy, fabric message, plain delay) is done.
+//
+// The graph is a pure description: building it performs no simulation.
+// GraphExecutor (graph/executor.hpp) walks it deterministically.
+//
+// Determinism contract: node ids are assigned in insertion order, ready
+// nodes are dispatched in ascending id order, and to_dot() emits nodes and
+// edges in sorted order — two identical builds produce byte-identical DOT
+// and byte-identical execution schedules.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simtime/future.hpp"
+#include "simtime/process.hpp"
+#include "simtime/simulator.hpp"
+
+namespace prs::graph {
+
+using NodeId = std::size_t;
+
+/// Sentinel for "no dependency" — depend() on it is a no-op, which lets
+/// builders thread an optional predecessor without branching.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Coroutine factory for a work node. Spawned by the executor when the
+/// node becomes ready; must resolve `done` exactly once (even on the
+/// error path — failures are reported via GraphExecutor::fail instead of
+/// leaking an unresolved promise).
+using WorkFn =
+    std::function<sim::Process(sim::Simulator&, sim::Promise<sim::Unit>)>;
+
+/// One codelet instance. `kind` is a coarse class used for tracing and
+/// DOT styling: "host", "cpu", "kernel", "h2d", "d2h", "net", "delay".
+struct TaskNode {
+  std::string name;
+  std::string kind;
+  int rank = 0;  // owning fat node (trace track / DOT cluster)
+  std::function<void()> host;
+  WorkFn work;
+  std::vector<NodeId> deps;  // predecessors, ascending
+  std::vector<NodeId> outs;  // successors, insertion order
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a host node (runs synchronously at dispatch, zero virtual time).
+  NodeId add_host(std::string name, std::string kind, int rank,
+                  std::function<void()> fn);
+
+  /// Adds a work node (spawned as a simulator process when ready).
+  NodeId add_work(std::string name, std::string kind, int rank, WorkFn fn);
+
+  /// Adds the edge `before -> node`. No-op when before == kNoNode;
+  /// duplicate edges are coalesced.
+  void depend(NodeId node, NodeId before);
+  void depend_all(NodeId node, const std::vector<NodeId>& before);
+
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_; }
+  bool empty() const { return nodes_.empty(); }
+  const std::string& name() const { return name_; }
+  const TaskNode& node(NodeId id) const { return nodes_[id]; }
+  TaskNode& node(NodeId id) { return nodes_[id]; }
+
+  /// Throws prs::Error when the graph has a dependency cycle (Kahn's
+  /// algorithm); names one node on the cycle.
+  void validate() const;
+
+  /// Graphviz DOT rendering: nodes in id order grouped into one cluster
+  /// per rank, edges sorted by (src, dst). Byte-deterministic.
+  std::string to_dot() const;
+
+ private:
+  NodeId add_node(TaskNode n);
+
+  std::string name_;
+  std::vector<TaskNode> nodes_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace prs::graph

@@ -4,8 +4,11 @@
 // collectives on disjoint tags, and congestion timing.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/job_runner.hpp"
 #include "simnet/fabric.hpp"
 #include "simtime/channel.hpp"
 #include "simtime/future.hpp"
@@ -259,3 +262,84 @@ TEST(CollectiveEdge, SingleNodeCollectivesAreInstant) {
 
 }  // namespace
 }  // namespace prs::simnet
+
+// -- Task-graph engine edges ----------------------------------------------------
+//
+// Regression: a functional map closure throwing mid-stage must surface the
+// FIRST failure immediately — at the throwing block's completion time, with
+// the graph node named in the error — instead of an anonymous error after
+// the full stage barrier (the old behaviour let every sibling block finish
+// and lost the failing task's identity).
+
+namespace prs::core {
+namespace {
+
+MapReduceSpec<int, int> counting_spec(bool poisoned) {
+  MapReduceSpec<int, int> spec;
+  spec.name = "edge-count";
+  spec.cpu_map = [poisoned](const InputSlice& s, Emitter<int, int>& e) {
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      if (poisoned && i == 0) throw std::runtime_error("poison item 0");
+      e.emit(static_cast<int>(i % 7), 1);
+    }
+  };
+  spec.combine = [](const int& a, const int& b) { return a + b; };
+  spec.cpu_flops_per_item = 1000.0;
+  spec.gpu_flops_per_item = 1000.0;
+  spec.item_bytes = 8.0;
+  return spec;
+}
+
+TEST(GraphEngineEdge, MapClosureThrowPropagatesFirstFailureImmediately) {
+  // Fault-free reference run: total virtual time of the whole job.
+  double t_clean = 0.0;
+  {
+    sim::Simulator simu;
+    Cluster cluster(simu, 2, NodeConfig{});
+    JobConfig cfg;
+    cfg.engine = ExecEngine::kGraph;
+    auto res = run_job(cluster, counting_spec(false), cfg, 4096);
+    EXPECT_EQ(res.output.size(), 7u);
+    t_clean = res.stats.elapsed;
+    ASSERT_GT(t_clean, 0.0);
+  }
+
+  // Poisoned run: item 0 lives in rank 0's first CPU map block.
+  sim::Simulator simu;
+  Cluster cluster(simu, 2, NodeConfig{});
+  JobConfig cfg;
+  cfg.engine = ExecEngine::kGraph;
+  try {
+    run_job(cluster, counting_spec(true), cfg, 4096);
+    FAIL() << "expected the poisoned map closure to surface an Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    // The graph runner names the failing node...
+    EXPECT_NE(what.find("task graph node"), std::string::npos) << what;
+    EXPECT_NE(what.find("map:cpu"), std::string::npos) << what;
+    // ...and carries the original cause.
+    EXPECT_NE(what.find("poison item 0"), std::string::npos) << what;
+  }
+  // Immediate propagation: the error surfaced at the failing block's
+  // completion time, well before the fault-free job's total time (which
+  // still owes shuffle/reduce/gather after the map barrier).
+  EXPECT_LT(simu.now(), t_clean);
+  EXPECT_GT(simu.now(), 0.0);
+}
+
+TEST(GraphEngineEdge, GraphMatchesStagesOutput) {
+  auto run_with = [](ExecEngine engine) {
+    sim::Simulator simu;
+    Cluster cluster(simu, 3, NodeConfig{});
+    JobConfig cfg;
+    cfg.engine = engine;
+    return run_job(cluster, counting_spec(false), cfg, 3000);
+  };
+  const auto stages = run_with(ExecEngine::kStages);
+  const auto graph = run_with(ExecEngine::kGraph);
+  EXPECT_EQ(stages.output, graph.output);
+  EXPECT_DOUBLE_EQ(stages.stats.elapsed, graph.stats.elapsed);
+}
+
+}  // namespace
+}  // namespace prs::core

@@ -115,7 +115,8 @@ struct FaultRun {
 
 FaultRun run_with_faults(const std::string& spec_str, std::uint64_t seed,
                          FaultToleranceConfig tol = {},
-                         double flops_per_item = 2000.0) {
+                         double flops_per_item = 2000.0,
+                         ExecEngine engine = ExecEngine::kStages) {
   sim::Simulator simu;
   obs::TraceRecorder rec(simu);
   simu.set_tracer(&rec);
@@ -126,6 +127,7 @@ FaultRun run_with_faults(const std::string& spec_str, std::uint64_t seed,
   cfg.charge_job_startup = false;  // fault window starts at t=0
   cfg.faults = &inj;
   cfg.tolerance = tol;
+  cfg.engine = engine;
   auto res = run_job(cluster, spec, cfg, kItems);
   FaultRun out;
   out.output = std::move(res.output);
@@ -181,6 +183,22 @@ TEST(FaultTolerance, OutputMatchesFaultFreeUnderEachFaultClass) {
     auto got = run_with_faults(spec, 3);
     EXPECT_EQ(got.output, want) << "under " << spec;
   }
+}
+
+TEST(FaultTolerance, GraphEngineWithFaultsRoutesToTolerantPathUnchanged) {
+  // An attached fault injector always wins the routing decision in
+  // run_job: the tolerant runner (timeouts, retries, speculation) takes
+  // over even when the caller requested the task-graph engine, so the
+  // faulted timeline, injector log and output are byte-identical to the
+  // same request under the legacy engine.
+  const std::string spec = "link_drop:*:p=0.1; task_error:node1:p=0.1";
+  auto stages = run_with_faults(spec, 11);
+  auto graph = run_with_faults(spec, 11, {}, 2000.0, ExecEngine::kGraph);
+  EXPECT_EQ(graph.output, stages.output);
+  EXPECT_EQ(graph.log, stages.log);
+  EXPECT_EQ(graph.trace_json, stages.trace_json);
+  EXPECT_DOUBLE_EQ(graph.stats.elapsed, stages.stats.elapsed);
+  EXPECT_EQ(graph.output, expected_sums(kItems));
 }
 
 TEST(FaultTolerance, DroppedMessagesAreRetransmitted) {

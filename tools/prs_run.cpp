@@ -111,6 +111,8 @@ int run(const tools::Options& opt) {
   core::NodeConfig node = spec.node_config();
   core::Cluster cluster(sim, spec.nodes, node);
   core::JobConfig cfg = spec.job_config();
+  // --graph-dump is CLI-local (a file path on this host), not wire state.
+  cfg.graph_dump_path = opt.graph_dump;
   // One policy instance for the whole invocation: with --policy=adaptive it
   // keeps its learned per-node fractions across --repeat runs.
   auto policy = core::make_policy(spec.policy);
