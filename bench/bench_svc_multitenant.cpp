@@ -9,13 +9,17 @@
 // virtual seconds from submit to a job's first granted stage
 // (JobStatus.queue_wait), reported as p50/p99 across the batch.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "svc/journal.hpp"
 #include "svc/server.hpp"
 
 namespace {
@@ -41,11 +45,12 @@ struct Cell {
   double wait_p99 = 0.0;
 };
 
-Cell run_batch(int jobs, int slots_per_card) {
+Cell run_batch(int jobs, int slots_per_card, svc::Journal* journal = nullptr) {
   svc::JobServer::Config cfg;
   cfg.pool.cards = 2;
   cfg.pool.slots_per_card = slots_per_card;
   cfg.admission.max_queue_depth = jobs + 1;
+  cfg.journal = journal;
   svc::JobServer server(cfg);
   svc::TenantQuota heavy;
   heavy.weight = 2.0;
@@ -123,6 +128,51 @@ int main() {
       "Oversubscription admits jobs to vGPUs earlier, trimming the median "
       "first-grant wait under load, but tail latency is set by fair-share "
       "order (FIFO within a tenant, stride across tenants), not by slot "
-      "count.\n");
+      "count.\n\n");
+
+  // Durability overhead: the same batch with the write-ahead journal on.
+  // Virtual-time results are identical by construction (the journal never
+  // sits on the scheduling path's critical decisions); what durability
+  // costs is host wall-clock — fsyncs on SUBMIT and terminal records,
+  // group-committed by the flusher thread.
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "prs_bench_journal";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    TextTable t({"jobs", "journal", "wall ms", "throughput (jobs/vs)",
+                 "journal records"});
+    for (int jobs : job_counts) {
+      for (int with_journal = 0; with_journal <= 1; ++with_journal) {
+        std::unique_ptr<svc::Journal> journal;
+        if (with_journal != 0) {
+          svc::Journal::Config jcfg;
+          jcfg.path =
+              (dir / ("bench_" + std::to_string(jobs) + ".wal")).string();
+          journal = std::make_unique<svc::Journal>(jcfg);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const Cell c = run_batch(jobs, 2, journal.get());
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        char wall[32], tp[32];
+        std::snprintf(wall, sizeof(wall), "%.1f", wall_ms);
+        std::snprintf(tp, sizeof(tp), "%.4f", c.throughput);
+        t.add_row({std::to_string(jobs), with_journal ? "on" : "off", wall,
+                   tp,
+                   with_journal
+                       ? std::to_string(journal->records_appended())
+                       : "-"});
+      }
+    }
+    t.print();
+    fs::remove_all(dir);
+    std::printf(
+        "\nReading: virtual-time throughput is byte-identical with the "
+        "journal on — durability is off the scheduling path. The wall-clock "
+        "delta is the fsync cost of SUBMIT + terminal records (group "
+        "commit batches concurrent appends into one fsync).\n");
+  }
   return 0;
 }

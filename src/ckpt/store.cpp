@@ -142,6 +142,10 @@ std::string latest_snapshot_key(const CheckpointStore& store,
   return best;
 }
 
+bool has_snapshot(const CheckpointStore& store, const std::string& prefix) {
+  return !latest_snapshot_key(store, prefix).empty();
+}
+
 void prune_snapshots(CheckpointStore& store, const std::string& prefix,
                      int keep) {
   if (keep <= 0) return;

@@ -79,6 +79,11 @@ std::string snapshot_key(const std::string& prefix, int next_iteration);
 std::string latest_snapshot_key(const CheckpointStore& store,
                                 const std::string& prefix);
 
+/// True when at least one snapshot exists under `prefix`. Used by the job
+/// server's crash recovery to count which re-admitted jobs will actually
+/// resume from a snapshot rather than recompute from iteration 0.
+bool has_snapshot(const CheckpointStore& store, const std::string& prefix);
+
 /// Delete all but the newest `keep` snapshots under `prefix`.
 void prune_snapshots(CheckpointStore& store, const std::string& prefix,
                      int keep);

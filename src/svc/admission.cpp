@@ -30,8 +30,14 @@ const char* admit_code_name(AdmitCode code) {
     case AdmitCode::kQuotaQueued: return "quota_queued";
     case AdmitCode::kQueueFull: return "queue_full";
     case AdmitCode::kDraining: return "draining";
+    case AdmitCode::kJournalBusy: return "journal_busy";
   }
   return "unknown";
+}
+
+bool admit_code_retryable(AdmitCode code) {
+  return code == AdmitCode::kQuotaQueued || code == AdmitCode::kQueueFull ||
+         code == AdmitCode::kJournalBusy;
 }
 
 AdmitDecision AdmissionController::check(const TenantAccount* tenant,

@@ -23,7 +23,12 @@ enum class AdmitCode {
   kQuotaQueued,     // tenant queue bound reached (per-tenant backpressure)
   kQueueFull,       // global queue bound reached (server backpressure)
   kDraining,        // server is draining, no new admissions
+  kJournalBusy,     // journal fsync queue saturated (durability backlog)
 };
+
+/// Transient rejections a client should retry after a delay; the protocol
+/// layer maps these to a RETRY-AFTER response instead of a plain ERR.
+bool admit_code_retryable(AdmitCode code);
 
 const char* admit_code_name(AdmitCode code);
 

@@ -1,0 +1,156 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace prs::svc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int backoff_ms(const RetryPolicy& policy, int attempt) {
+  PRS_REQUIRE(attempt >= 1, "backoff attempt is 1-based");
+  const int base = std::max(1, policy.base_ms);
+  const int cap = std::max(base, policy.cap_ms);
+  // Exponential growth, saturating at the cap without overflowing.
+  std::int64_t ms = base;
+  for (int i = 1; i < attempt && ms < cap; ++i) ms *= 2;
+  ms = std::min<std::int64_t>(ms, cap);
+  // Jitter in [ms/2, ms]: decorrelates clients without ever collapsing the
+  // wait to zero.
+  const std::uint64_t r =
+      splitmix64(policy.seed ^ (static_cast<std::uint64_t>(attempt) << 32));
+  const std::int64_t half = ms / 2;
+  return static_cast<int>(half + static_cast<std::int64_t>(
+                                     r % static_cast<std::uint64_t>(ms - half + 1)));
+}
+
+std::string backoff_schedule(const RetryPolicy& policy) {
+  std::string out;
+  for (int a = 1; a <= policy.retries; ++a) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(backoff_ms(policy, a)) + "ms";
+  }
+  return out;
+}
+
+int retry_after_ms(const std::string& header) {
+  const std::string prefix = "RETRY-AFTER ";
+  if (header.rfind(prefix, 0) != 0) return -1;
+  int ms = 0;
+  const char* b = header.data() + prefix.size();
+  const char* e = header.data() + header.size();
+  auto [p, ec] = std::from_chars(b, e, ms);
+  if (ec != std::errc() || p == b || ms < 0) return -1;
+  return ms;
+}
+
+ResilientClient::ResilientClient(std::string path, RetryPolicy policy)
+    : path_(std::move(path)), policy_(policy) {}
+
+void ResilientClient::set_retry_observer(RetryObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void ResilientClient::ensure_connected() {
+  if (conn_ != nullptr) return;
+  conn_ = std::make_unique<SocketClient>(path_);
+  conn_->set_timeout_ms(policy_.timeout_ms);
+}
+
+void ResilientClient::backoff(int attempt, const std::string& why) {
+  const int ms = backoff_ms(policy_, attempt);
+  if (observer_) observer_(attempt, ms, why);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string ResilientClient::request(const std::string& line,
+                                     bool idempotent) {
+  std::string last_error;
+  bool advised_wait = false;  // RETRY-AFTER already slept for this attempt
+  for (int attempt = 0; attempt <= policy_.retries; ++attempt) {
+    if (attempt > 0 && !advised_wait) backoff(attempt, last_error);
+    advised_wait = false;
+    bool sent = false;
+    try {
+      const bool fresh = conn_ == nullptr;
+      ensure_connected();
+      if (fresh && attempt > 0) reconnects_++;
+      sent = true;  // request() writes first; treat everything past
+                    // connect as maybe-delivered
+      std::string response = conn_->request(line);
+      const int advised = retry_after_ms(response);
+      if (advised >= 0) {
+        // Explicit shed: the server is up but overloaded. Honor its advice
+        // (clamped into the policy's range) instead of our own schedule.
+        last_error = "server shedding load (RETRY-AFTER " +
+                     std::to_string(advised) + "ms)";
+        if (attempt == policy_.retries) return response;  // budget exhausted
+        const int ms = std::clamp(advised, 1, std::max(1, policy_.cap_ms));
+        if (observer_) observer_(attempt + 1, ms, last_error);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        advised_wait = true;  // the advised sleep replaces our own backoff
+        continue;
+      }
+      return response;
+    } catch (const ConnectFailed& e) {
+      last_error = e.what();  // never reached the server: always retryable
+      conn_.reset();
+    } catch (const RequestTimeout& e) {
+      conn_.reset();  // response stream is indeterminate; reconnect
+      last_error = e.what();
+      if (sent && !idempotent) throw;
+    } catch (const Error& e) {
+      conn_.reset();  // dropped mid-request (server crash/restart)
+      last_error = e.what();
+      if (sent && !idempotent) throw;
+    }
+  }
+  throw ConnectFailed("request failed after " +
+                      std::to_string(policy_.retries + 1) + " attempt(s): " +
+                      last_error);
+}
+
+std::string ResilientClient::wait_job(int job_id) {
+  const std::string line = "WAIT " + std::to_string(job_id);
+  int consecutive_failures = 0;
+  std::string last_error;
+  for (;;) {
+    try {
+      ensure_connected();
+      std::string response = conn_->request(line);
+      return response;
+    } catch (const RequestTimeout&) {
+      // The job is just still running (or the server is wedged — the
+      // reconnect below distinguishes them): re-issue WAIT on a fresh
+      // connection without consuming the budget.
+      conn_.reset();
+      continue;
+    } catch (const Error& e) {
+      conn_.reset();
+      last_error = e.what();
+      consecutive_failures++;
+      if (consecutive_failures > policy_.retries) {
+        throw ConnectFailed("wait for job " + std::to_string(job_id) +
+                            " failed after " +
+                            std::to_string(consecutive_failures) +
+                            " attempt(s): " + last_error);
+      }
+      reconnects_++;
+      backoff(consecutive_failures, last_error);
+    }
+  }
+}
+
+}  // namespace prs::svc

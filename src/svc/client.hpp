@@ -1,0 +1,83 @@
+// Resilient client for the job-server line protocol: per-request
+// timeouts, bounded exponential backoff with deterministic seeded jitter,
+// automatic reconnect across a server restart, and RETRY-AFTER honoring.
+//
+// Retry safety: a request is only re-sent after a connection-phase
+// failure unless the caller marks it idempotent. SUBMIT becomes
+// idempotent when it carries a dedup= key (the server echoes the existing
+// job id on a replay), which is what lets `prs_run --server-retries` ride
+// out a server crash between the send and the reply. STATUS/WAIT/CANCEL
+// are idempotent by construction.
+//
+// The backoff schedule is a pure function of (policy, attempt): exponential
+// growth from base_ms, capped at cap_ms, with splitmix64-seeded jitter in
+// [ms/2, ms]. Deterministic so tests can assert the exact schedule and two
+// clients with different seeds do not stampede in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "svc/socket.hpp"
+
+namespace prs::svc {
+
+struct RetryPolicy {
+  int retries = 0;        // re-attempts after the first try (0 = fail fast)
+  int base_ms = 50;       // first backoff sleep
+  int cap_ms = 2000;      // backoff ceiling
+  std::uint64_t seed = 1; // jitter stream; same seed => same schedule
+  int timeout_ms = 0;     // per-request read deadline (0 = block forever)
+};
+
+/// Backoff before re-attempt `attempt` (1-based). Deterministic.
+int backoff_ms(const RetryPolicy& policy, int attempt);
+
+/// Human-readable schedule ("52ms, 103ms, 201ms") for the UX satellite:
+/// prs_run prints it when --server-retries is active.
+std::string backoff_schedule(const RetryPolicy& policy);
+
+class ResilientClient {
+ public:
+  /// Called before each backoff sleep: (1-based attempt, sleep ms, reason).
+  using RetryObserver =
+      std::function<void(int attempt, int sleep_ms, const std::string& why)>;
+
+  ResilientClient(std::string path, RetryPolicy policy);
+
+  void set_retry_observer(RetryObserver observer);
+
+  /// Sends one request, reconnecting with backoff on connect failures,
+  /// timeouts, dropped connections and RETRY-AFTER responses. When
+  /// `idempotent` is false the request is never re-sent once it may have
+  /// reached the server (only connect-phase failures retry). Throws
+  /// svc::ConnectFailed when the retry budget is exhausted without ever
+  /// reaching the server, prs::Error otherwise.
+  std::string request(const std::string& line, bool idempotent = true);
+
+  /// WAIT <job_id> that survives server restarts: request timeouts do not
+  /// consume the retry budget (a long job is not a failure), and the budget
+  /// resets after every successful response. Returns the terminal status
+  /// response.
+  std::string wait_job(int job_id);
+
+  int reconnects() const { return reconnects_; }
+
+ private:
+  void ensure_connected();
+  void backoff(int attempt, const std::string& why);
+
+  std::string path_;
+  RetryPolicy policy_;
+  RetryObserver observer_;
+  std::unique_ptr<SocketClient> conn_;
+  int reconnects_ = 0;
+};
+
+/// Parses the advised delay out of a "RETRY-AFTER <ms> ..." response
+/// header; returns -1 when the header is not a RETRY-AFTER response.
+int retry_after_ms(const std::string& header);
+
+}  // namespace prs::svc

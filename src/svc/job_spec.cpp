@@ -267,4 +267,22 @@ JobSpec parse_job_spec(const std::map<std::string, std::string>& fields) {
   return spec;
 }
 
+JobSpec parse_job_spec_tokens(const std::string& tokens) {
+  std::map<std::string, std::string> fields;
+  std::size_t pos = 0;
+  while (pos < tokens.size()) {
+    auto sp = tokens.find(' ', pos);
+    if (sp == std::string::npos) sp = tokens.size();
+    const std::string tok = tokens.substr(pos, sp - pos);
+    pos = sp + 1;
+    if (tok.empty()) continue;
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw InvalidArgument("malformed job spec token '" + tok + "'");
+    }
+    fields[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return parse_job_spec(fields);
+}
+
 }  // namespace prs::svc

@@ -76,4 +76,9 @@ bool apply_job_spec_field(JobSpec& spec, const std::string& key,
 /// prs::InvalidArgument naming the offending key.
 JobSpec parse_job_spec(const std::map<std::string, std::string>& fields);
 
+/// Inverse of JobSpec::to_tokens(): parses the space-separated key=value
+/// wire form back into a spec (the journal stores specs in this form).
+/// Throws prs::InvalidArgument on a malformed token or unknown key.
+JobSpec parse_job_spec_tokens(const std::string& tokens);
+
 }  // namespace prs::svc

@@ -1,0 +1,159 @@
+// Write-ahead journal for the job server: every job lifecycle transition
+// (SUBMIT/START/GATE-PROGRESS/DONE/FAIL/CANCEL) is appended as a framed,
+// checksummed record before the server acknowledges it, so a restarted
+// prs_serve can rebuild its queue from disk and re-admit incomplete jobs
+// in the original admission order.
+//
+// Record framing reuses the ckpt codec (little-endian, explicit bytes):
+//
+//   u32 magic "PRSJ" | u32 version | u64 payload_len | u64 fnv1a64(payload)
+//   | payload
+//
+// where the payload starts with a u8 record type followed by type-specific
+// fields (see encode_journal_record). Replay is torn-tail tolerant: a
+// crash mid-append leaves a truncated or corrupt final record, which stops
+// the replay cleanly at the last durable record instead of failing it —
+// exactly the semantics a write-ahead log needs.
+//
+// Durability model: appends go through a bounded in-process flush queue
+// drained by one background thread that writes and fsyncs in batches
+// (group commit). `append_durable` (SUBMIT and terminal records) blocks
+// until its record is on disk; `append_async` (GATE progress, advisory)
+// returns immediately. When the queue is saturated both shed — the server
+// maps that to a RETRY-AFTER response instead of wedging clients.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prs::svc {
+
+enum class JournalRecordType : std::uint8_t {
+  kSubmit = 1,  // job admitted: id, tenant, dedup key, spec tokens
+  kStart = 2,   // job left the queue (thread spawned, lease held)
+  kGate = 3,    // progress: scheduling gates passed so far
+  kDone = 4,    // terminal: result digest + result lines
+  kFail = 5,    // terminal: error text
+  kCancel = 6,  // terminal: cancel note
+};
+
+const char* journal_record_name(JournalRecordType t);
+/// Parses a lower-case record name ("submit", "start", "gate", "done",
+/// "fail", "cancel"); returns false on an unknown name. Used by the
+/// --crash-after-journal test hook.
+bool parse_journal_record_name(const std::string& name, JournalRecordType* out);
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kSubmit;
+  int job_id = -1;
+  // kSubmit only.
+  std::string tenant;
+  std::string dedup;        // client idempotency key ("" = none)
+  std::string spec_tokens;  // JobSpec::to_tokens() wire form
+  // kGate only.
+  int stages = 0;
+  // kDone only.
+  std::string digest;
+  std::vector<std::string> lines;
+  // kFail / kCancel only.
+  std::string error;
+};
+
+/// One framed record (header + payload), ready to append to the log.
+std::string encode_journal_record(const JournalRecord& rec);
+
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  std::size_t bytes_consumed = 0;  // offset of the first torn/corrupt byte
+  bool torn_tail = false;  // file ended mid-record or with a bad checksum
+};
+
+/// Decodes every complete, checksum-valid record from the head of `bytes`,
+/// stopping cleanly at a truncated or corrupt tail.
+JournalReplay decode_journal(const std::string& bytes);
+
+/// Reads and decodes a journal file. A missing file is an empty journal.
+JournalReplay read_journal(const std::string& path);
+
+class Journal {
+ public:
+  struct Config {
+    std::string path;      // journal file; parent directory must exist
+    int max_pending = 256; // flush-queue bound; beyond it appends shed
+  };
+
+  /// Opens (creating if absent) the journal file for appending. Existing
+  /// records are preserved — call replay() before appending to recover.
+  explicit Journal(Config cfg);
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  /// Flushes everything still queued, then closes the file.
+  ~Journal();
+
+  const std::string& path() const { return cfg_.path; }
+
+  /// Decodes the records currently on disk (the ones written by previous
+  /// incarnations plus anything already flushed by this one).
+  JournalReplay replay() const;
+
+  /// Queues `rec` and blocks until it is fsynced to disk. Returns false
+  /// without queueing when the flush queue is saturated (shed — the caller
+  /// answers RETRY-AFTER).
+  bool append_durable(const JournalRecord& rec);
+
+  /// Queues `rec` without waiting for the fsync. Returns false when the
+  /// queue is saturated (the record is dropped; GATE progress is advisory,
+  /// so a dropped record only costs replay precision, not correctness).
+  bool append_async(const JournalRecord& rec);
+
+  /// Blocks until the queue is empty and fsynced.
+  void flush();
+
+  std::uint64_t records_appended() const;
+  std::uint64_t records_shed() const;
+
+  /// Test hook: fired from the flusher thread right after a record of the
+  /// matching type reaches disk, with the 1-based count of records of that
+  /// type appended by THIS incarnation. prs_serve wires
+  /// --crash-after-journal to _Exit here to build the crash matrix.
+  void set_post_sync_hook(
+      std::function<void(JournalRecordType, std::uint64_t)> hook);
+
+  /// Test hook: freezes the flusher so tests can saturate the queue
+  /// deterministically and observe shedding.
+  void pause_flush(bool paused);
+
+ private:
+  struct Pending {
+    std::string bytes;
+    JournalRecordType type;
+    std::uint64_t seq = 0;
+  };
+
+  void flusher_main();
+
+  Config cfg_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // producers <-> flusher
+  std::condition_variable flushed_cv_;  // durable waiters
+  std::deque<Pending> queue_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t flushed_seq_ = 0;  // all seqs <= this are on disk
+  std::uint64_t appended_ = 0;
+  std::uint64_t shed_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::function<void(JournalRecordType, std::uint64_t)> post_sync_hook_;
+  std::uint64_t type_counts_[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::thread flusher_;
+};
+
+}  // namespace prs::svc

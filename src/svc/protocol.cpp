@@ -89,6 +89,12 @@ std::string format_error(const std::string& code,
   return "ERR code=" + code + " " + message + "\n";
 }
 
+std::string format_retry_after(int ms, const std::string& code,
+                               const std::string& message) {
+  return "RETRY-AFTER " + std::to_string(ms) + " code=" + code + " " +
+         message + "\n";
+}
+
 std::string handle_request(JobServer& server, const std::string& line,
                            bool* shutdown) {
   try {
@@ -102,9 +108,24 @@ std::string handle_request(JobServer& server, const std::string& line,
       PRS_REQUIRE(tenant_it != kv.end(), "SUBMIT requires tenant=<name>");
       const std::string tenant = tenant_it->second;
       kv.erase(tenant_it);
+      // dedup= is transport-level (idempotency key), not part of the spec.
+      std::string dedup;
+      auto dedup_it = kv.find("dedup");
+      if (dedup_it != kv.end()) {
+        dedup = dedup_it->second;
+        kv.erase(dedup_it);
+      }
       JobSpec spec = parse_job_spec(kv);
-      auto res = server.submit(tenant, std::move(spec));
+      auto res = server.submit(tenant, std::move(spec), dedup);
+      if (res.deduped) {
+        return "OK id=" + std::to_string(res.job_id) + " deduped=1\n";
+      }
       if (!res.ok()) {
+        if (res.retry_after_ms > 0) {
+          return format_retry_after(res.retry_after_ms,
+                                    admit_code_name(res.decision.code),
+                                    res.decision.message);
+        }
         return format_error(admit_code_name(res.decision.code),
                             res.decision.message);
       }

@@ -6,6 +6,8 @@
 //
 //   PING
 //   SUBMIT tenant=alice app=cmeans points=20000 iterations=8 ...
+//          [dedup=KEY]       (idempotency key: a retried SUBMIT with the
+//                             same tenant+key returns the existing job id)
 //   STATUS <job-id>
 //   WAIT <job-id>            (blocks until the job is terminal)
 //   CANCEL <job-id>
@@ -24,6 +26,11 @@
 //   <result line 1>
 //   <result line 2>
 //   ERR code=quota_vgpus tenant 'bob' vGPU quota exceeded: ...
+//   RETRY-AFTER 100 code=queue_full server queue is full (...)
+//
+// RETRY-AFTER is the overload (graceful-degradation) response: the server
+// is up but shedding — the client should back off for the advised
+// milliseconds and retry rather than treat it as a hard error.
 #pragma once
 
 #include <map>
@@ -57,6 +64,12 @@ long header_field(const std::string& header, const std::string& key,
 std::string format_status_response(const JobStatus& status);
 
 std::string format_error(const std::string& code, const std::string& message);
+
+/// Graceful-degradation response for transient overload (full queues, a
+/// saturated journal): "RETRY-AFTER <ms> code=<code> <message>". Clients
+/// back off for the advised delay and retry instead of failing.
+std::string format_retry_after(int ms, const std::string& code,
+                               const std::string& message);
 
 /// Executes one request line against the server and returns the full
 /// response text. Sets `*shutdown` when the verb was SHUTDOWN. Blocking

@@ -80,13 +80,42 @@ void JobServer::add_tenant(const std::string& name, TenantQuota quota) {
 }
 
 JobServer::SubmitResult JobServer::submit(const std::string& tenant,
-                                          JobSpec spec) {
+                                          JobSpec spec,
+                                          const std::string& dedup) {
   std::unique_lock<std::mutex> lk(mu_);
+  SubmitResult res;
+  // Idempotent replay: a repeat of a dedup-keyed submit (a client retrying
+  // after a dropped reply) returns the existing job, whatever its state,
+  // before admission runs — no second quota charge, no second job.
+  if (!dedup.empty()) {
+    auto hit = dedup_.find(tenant + "\n" + dedup);
+    if (hit != dedup_.end()) {
+      res.job_id = hit->second;
+      res.deduped = true;
+      metrics_.counter("svc.submit_dedup_hits").increment();
+      return res;
+    }
+  }
   auto it = tenants_.find(tenant);
   TenantAccount* account = it == tenants_.end() ? nullptr : &it->second;
-  SubmitResult res;
   res.decision = admission_.check(account, spec, pool_.capacity(),
                                   queued_jobs_locked(), draining_);
+  if (res.decision.ok() && cfg_.journal != nullptr) {
+    // Write-ahead: the SUBMIT record must be on disk before the job exists,
+    // so an accepted job is never lost to a crash. A saturated fsync queue
+    // sheds the submit instead of blocking the client indefinitely.
+    JournalRecord rec;
+    rec.type = JournalRecordType::kSubmit;
+    rec.job_id = next_job_id_;  // reserved only if the append lands
+    rec.tenant = tenant;
+    rec.dedup = dedup;
+    rec.spec_tokens = spec.to_tokens();
+    if (!cfg_.journal->append_durable(rec)) {
+      res.decision = {AdmitCode::kJournalBusy,
+                      "journal fsync queue is saturated"};
+      metrics_.counter("svc.journal_shed").increment();
+    }
+  }
   if (!res.decision.ok()) {
     metrics_.counter("svc.jobs_rejected").increment();
     metrics_
@@ -94,6 +123,9 @@ JobServer::SubmitResult JobServer::submit(const std::string& tenant,
                  admit_code_name(res.decision.code))
         .increment();
     if (account != nullptr) account->jobs_rejected++;
+    if (admit_code_retryable(res.decision.code)) {
+      res.retry_after_ms = cfg_.shed_retry_ms;
+    }
     return res;
   }
 
@@ -101,8 +133,10 @@ JobServer::SubmitResult JobServer::submit(const std::string& tenant,
   job->id = next_job_id_++;
   job->tenant = tenant;
   job->spec = std::move(spec);
+  job->dedup = dedup;
   job->submit_vnow = vnow_;
   res.job_id = job->id;
+  if (!dedup.empty()) dedup_[tenant + "\n" + dedup] = job->id;
 
   account->jobs_submitted++;
   account->queued++;
@@ -112,6 +146,142 @@ JobServer::SubmitResult JobServer::submit(const std::string& tenant,
   jobs_.push_back(std::move(job));
   cv_.notify_all();
   return res;
+}
+
+JobServer::RecoveryStats JobServer::recover() {
+  RecoveryStats out;
+  if (cfg_.journal == nullptr) return out;
+  const JournalReplay replay = cfg_.journal->replay();
+  out.journal_records = static_cast<int>(replay.records.size());
+  out.torn_tail = replay.torn_tail;
+  if (replay.records.empty()) return out;
+
+  // Fold the record stream into per-job end states. std::map keeps jobs in
+  // ascending-id order, which IS the original admission order (ids are
+  // assigned under the lock in submit order and only ever grow).
+  struct Rebuilt {
+    JournalRecord submit;
+    bool has_submit = false;
+    bool started = false;
+    int stages = 0;
+    bool terminal = false;
+    JournalRecord last_terminal;
+  };
+  std::map<int, Rebuilt> by_id;
+  for (const JournalRecord& rec : replay.records) {
+    Rebuilt& r = by_id[rec.job_id];
+    switch (rec.type) {
+      case JournalRecordType::kSubmit:
+        r.submit = rec;
+        r.has_submit = true;
+        break;
+      case JournalRecordType::kStart:
+        r.started = true;
+        break;
+      case JournalRecordType::kGate:
+        r.stages = std::max(r.stages, rec.stages);
+        break;
+      case JournalRecordType::kDone:
+      case JournalRecordType::kFail:
+      case JournalRecordType::kCancel:
+        r.terminal = true;
+        r.last_terminal = rec;
+        break;
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  PRS_REQUIRE(jobs_.empty(),
+              "recover() must run before any submissions (empty server)");
+  for (auto& [id, r] : by_id) {
+    if (!r.has_submit) continue;  // progress for a job we never saw admitted
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->tenant = r.submit.tenant;
+    job->dedup = r.submit.dedup;
+    job->recovered = true;
+    next_job_id_ = std::max(next_job_id_, id + 1);
+    if (!r.submit.dedup.empty()) {
+      dedup_[r.submit.tenant + "\n" + r.submit.dedup] = id;
+    }
+    std::string spec_error;
+    try {
+      job->spec = parse_job_spec_tokens(r.submit.spec_tokens);
+    } catch (const prs::Error& e) {
+      spec_error = e.what();  // version drift; surfaced below
+    }
+
+    if (r.terminal) {
+      // Already finished before the crash: restore as queryable history.
+      // No tenant accounting — this incarnation never ran the job.
+      switch (r.last_terminal.type) {
+        case JournalRecordType::kDone:
+          job->state = JobState::kDone;
+          job->outcome.digest = r.last_terminal.digest;
+          job->outcome.lines = r.last_terminal.lines;
+          break;
+        case JournalRecordType::kFail:
+          job->state = JobState::kFailed;
+          job->error = r.last_terminal.error;
+          break;
+        default:
+          job->state = JobState::kCancelled;
+          job->error = r.last_terminal.error;
+          break;
+      }
+      job->stages = r.stages;
+      out.jobs_restored++;
+      metrics_.counter("svc.jobs_restored").increment();
+      jobs_.push_back(std::move(job));
+      continue;
+    }
+
+    // Incomplete: re-admit deterministically with the original id. The job
+    // was already admitted once, so quota bounds are not re-checked — only
+    // hard impossibilities (unknown tenant, pool too small) fail it.
+    auto it = tenants_.find(job->tenant);
+    std::string fail;
+    if (!spec_error.empty()) {
+      fail = "journal spec no longer parses: " + spec_error;
+    } else if (it == tenants_.end()) {
+      fail = "tenant '" + job->tenant + "' not registered after restart";
+    } else if (job->spec.vgpus_needed() > pool_.capacity()) {
+      fail = "pool too small after restart: job needs " +
+             std::to_string(job->spec.vgpus_needed()) + " vGPU(s), pool has " +
+             std::to_string(pool_.capacity());
+    }
+    if (!fail.empty()) {
+      job->state = JobState::kFailed;
+      job->error = fail;
+      out.jobs_failed++;
+      metrics_.counter("svc.jobs_failed").increment();
+      jobs_.push_back(std::move(job));
+      continue;
+    }
+    // A started iterative job resumes from its latest snapshot instead of
+    // iteration 0 (the ckpt layer guarantees resumed bytes == fault-free
+    // bytes). A job that never started has no snapshot, but resume=true is
+    // still safe: with an empty store the driver runs fresh.
+    if (r.started && !job->spec.checkpoint_dir.empty() && !job->spec.resume) {
+      job->spec.resume = true;
+    }
+    if (job->spec.resume) {
+      ckpt::FileCheckpointStore store(job->spec.checkpoint_dir);
+      if (ckpt::has_snapshot(store, job->spec.app)) {
+        out.jobs_resumed++;
+        metrics_.counter("svc.jobs_resumed_from_ckpt").increment();
+      }
+    }
+    TenantAccount& t = it->second;
+    t.jobs_submitted++;
+    t.queued++;
+    t.vgpus_in_use += job->spec.vgpus_needed();
+    out.jobs_recovered++;
+    metrics_.counter("svc.jobs_recovered").increment();
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  return out;
 }
 
 int JobServer::active_jobs_locked() const {
@@ -176,6 +346,7 @@ void JobServer::start_ready_jobs(std::unique_lock<std::mutex>&) {
     t.queued--;
     t.running++;
     job.state = JobState::kStarting;
+    journal_transition_locked(job, JournalRecordType::kStart);
     job.thread = std::thread(&JobServer::job_thread_main, this, &job);
   }
 }
@@ -286,6 +457,7 @@ JobStatus JobServer::snapshot_locked(const Job& job) const {
   s.service = job.service;
   s.submit_vnow = job.submit_vnow;
   s.finish_vnow = job.finish_vnow;
+  s.recovered = job.recovered;
   return s;
 }
 
@@ -400,6 +572,41 @@ void JobServer::export_trace(const std::string& path) const {
   obs::export_chrome_trace(trace_, path);
 }
 
+void JobServer::journal_transition_locked(const Job& job,
+                                          JournalRecordType type) {
+  if (cfg_.journal == nullptr) return;
+  JournalRecord rec;
+  rec.type = type;
+  rec.job_id = job.id;
+  switch (type) {
+    case JournalRecordType::kGate:
+      rec.stages = job.stages;
+      break;
+    case JournalRecordType::kDone:
+      rec.digest = job.outcome.digest;
+      rec.lines = job.outcome.lines;
+      break;
+    case JournalRecordType::kFail:
+    case JournalRecordType::kCancel:
+      rec.error = job.error;
+      break;
+    default:
+      break;
+  }
+  // START and GATE are advisory (they refine recovery, not correctness):
+  // async, fire-and-forget. Terminal records are what a restarted server
+  // trusts to skip re-running a job, so they wait for the fsync; if the
+  // queue is saturated the record is shed and the job simply re-runs after
+  // a crash — deterministic, so still correct.
+  bool appended = false;
+  if (type == JournalRecordType::kStart || type == JournalRecordType::kGate) {
+    appended = cfg_.journal->append_async(rec);
+  } else {
+    appended = cfg_.journal->append_durable(rec);
+  }
+  if (!appended) metrics_.counter("svc.journal_shed").increment();
+}
+
 void JobServer::finish_job_locked(Job& job, JobState final_state,
                                   const std::string& error) {
   TenantAccount& t = tenants_.at(job.tenant);
@@ -430,6 +637,22 @@ void JobServer::finish_job_locked(Job& job, JobState final_state,
     default:
       break;
   }
+  // Shutdown cancellations are deliberately NOT journaled: a job cut down
+  // by the daemon stopping is exactly what recovery must re-admit.
+  if (shutting_down_) return;
+  switch (final_state) {
+    case JobState::kDone:
+      journal_transition_locked(job, JournalRecordType::kDone);
+      break;
+    case JobState::kFailed:
+      journal_transition_locked(job, JournalRecordType::kFail);
+      break;
+    case JobState::kCancelled:
+      journal_transition_locked(job, JournalRecordType::kCancel);
+      break;
+    default:
+      break;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -454,6 +677,10 @@ void JobServer::settle_stage_locked(Job& job, double sim_now,
   job.stages++;
   if (job.lease.valid() && busy > 0.0) pool_.charge_busy(job.lease, busy);
   metrics_.counter("svc.service_vsec").add(service);
+  if (cfg_.journal != nullptr && cfg_.journal_gate_every > 0 &&
+      job.stages % cfg_.journal_gate_every == 0) {
+    journal_transition_locked(job, JournalRecordType::kGate);
+  }
   if (trace_.enabled()) {
     obs::TrackId track = trace_.track("svc:" + job.tenant,
                                       job.spec.app + "#" +

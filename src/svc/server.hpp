@@ -47,6 +47,7 @@
 #include "simtime/simulator.hpp"
 #include "svc/admission.hpp"
 #include "svc/job_spec.hpp"
+#include "svc/journal.hpp"
 #include "svc/launcher.hpp"
 #include "svc/tenant.hpp"
 
@@ -85,6 +86,7 @@ struct JobStatus {
   double service = 0.0;     // virtual device-seconds charged
   double submit_vnow = 0.0;
   double finish_vnow = 0.0;
+  bool recovered = false;  // re-admitted (or restored) from the journal
 };
 
 class JobServer {
@@ -94,6 +96,17 @@ class JobServer {
     AdmissionConfig admission;
     /// Record per-stage spans (tenant-per-track) for chrome://tracing.
     bool record_trace = false;
+    /// Write-ahead journal (owned by the caller, may be null). When set,
+    /// SUBMIT and terminal transitions are durably journaled before they
+    /// are acknowledged, and recover() can rebuild the queue after a
+    /// crash.
+    Journal* journal = nullptr;
+    /// Journal a GATE progress record every N scheduling gates (async,
+    /// advisory — governs how much recovery knows about progress).
+    int journal_gate_every = 4;
+    /// Delay advised to clients when a transient rejection (queue_full /
+    /// quota_queued / journal_busy) sheds their submit.
+    int shed_retry_ms = 100;
   };
 
   explicit JobServer(Config cfg);
@@ -109,12 +122,36 @@ class JobServer {
   struct SubmitResult {
     int job_id = -1;  // -1 on rejection
     AdmitDecision decision;
+    bool deduped = false;     // an existing job with the same dedup key
+    int retry_after_ms = 0;   // > 0: transient rejection, retry after this
     bool ok() const { return decision.ok(); }
   };
 
   /// Synchronous admission: quota/backpressure rejections are decided (and
   /// counted) here, deterministically; accepted jobs enter the queue.
-  SubmitResult submit(const std::string& tenant, JobSpec spec);
+  /// A non-empty `dedup` key makes the submit idempotent per tenant: a
+  /// repeat with the same key returns the existing job's id (whatever its
+  /// state) without admission or quota effects.
+  SubmitResult submit(const std::string& tenant, JobSpec spec,
+                      const std::string& dedup = "");
+
+  struct RecoveryStats {
+    int journal_records = 0;     // records replayed
+    bool torn_tail = false;      // journal ended mid-record (crash artifact)
+    int jobs_restored = 0;       // already-terminal jobs restored as history
+    int jobs_recovered = 0;      // incomplete jobs re-admitted to the queue
+    int jobs_resumed = 0;        // of those, will resume from a checkpoint
+    int jobs_failed = 0;         // could not be re-admitted (tenant/pool)
+  };
+
+  /// Replays cfg.journal and rebuilds state from it: terminal jobs become
+  /// queryable history (digest/result lines restored), incomplete jobs are
+  /// re-admitted in their original admission order (ascending id) with
+  /// their original ids, and started iterative jobs with a checkpoint_dir
+  /// are flipped to resume from their latest snapshot instead of iteration
+  /// 0. Call after add_tenant() and before start()/run_until_idle(); a
+  /// null or empty journal is a no-op.
+  RecoveryStats recover();
 
   // -- scheduling pump -------------------------------------------------
   /// Runs the scheduler on the calling thread until every submitted job is
@@ -162,6 +199,8 @@ class JobServer {
     JobState state = JobState::kQueued;
     std::string error;
     LaunchOutcome outcome;
+    std::string dedup;       // client idempotency key ("" = none)
+    bool recovered = false;  // rebuilt from the journal after a restart
     int stages = 0;
     double queue_wait = 0.0;
     double service = 0.0;
@@ -189,6 +228,8 @@ class JobServer {
   void finish_job_locked(Job& job, JobState final_state,
                          const std::string& error);
   void reap_finished();
+  /// Journals a terminal/progress transition (no-op without a journal).
+  void journal_transition_locked(const Job& job, JournalRecordType type);
 
   // Job-thread side.
   void job_thread_main(Job* job);
@@ -208,6 +249,7 @@ class JobServer {
   simdev::VirtualGpuPool pool_;
   std::map<std::string, TenantAccount> tenants_;
   std::vector<std::unique_ptr<Job>> jobs_;
+  std::map<std::string, int> dedup_;  // tenant + '\n' + key -> job id
   int next_job_id_ = 1;
   int running_job_ = -1;  // id of the job currently granted a stage
   double vnow_ = 0.0;

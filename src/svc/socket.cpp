@@ -24,10 +24,14 @@ void fill_addr(const std::string& path, sockaddr_un& addr) {
 }
 
 /// Writes the whole buffer, retrying on short writes / EINTR.
+/// MSG_NOSIGNAL: writing to a peer that already hung up must surface as an
+/// EPIPE return, never a process-killing SIGPIPE — the resilient client
+/// turns it into a reconnect, the server into a dropped connection.
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -94,6 +98,13 @@ void SocketServer::serve_connection(int fd) {
   for (;;) {
     auto nl = buffer.find('\n');
     if (nl == std::string::npos) {
+      if (buffer.size() > kMaxLineBytes) {
+        // Oversized line: reject and hang up before the buffer grows
+        // further. The partial line is never handed to the handler.
+        write_all(fd, "ERR code=line_too_long request line exceeds " +
+                          std::to_string(kMaxLineBytes) + " bytes\n");
+        break;
+      }
       ssize_t n = ::read(fd, chunk, sizeof(chunk));
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;  // client hung up
@@ -162,8 +173,8 @@ SocketClient::SocketClient(const std::string& path) {
     int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw Error("cannot connect to server at " + path + ": " +
-                std::strerror(err) + " (is prs_serve running?)");
+    throw ConnectFailed("cannot connect to server at " + path + ": " +
+                        std::strerror(err) + " (is prs_serve running?)");
   }
 }
 
@@ -179,6 +190,15 @@ std::string SocketClient::read_line() {
       std::string line = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
       return line;
+    }
+    if (timeout_ms_ > 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int r = ::poll(&pfd, 1, timeout_ms_);
+      if (r < 0 && errno == EINTR) continue;
+      if (r == 0) {
+        throw RequestTimeout("no response within " +
+                             std::to_string(timeout_ms_) + "ms");
+      }
     }
     ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;

@@ -12,10 +12,33 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace prs::svc {
+
+/// The server is not reachable (connection refused, stale socket file,
+/// missing path). Distinct so prs_run can map it to a "server not
+/// running?" message and its own exit code.
+class ConnectFailed : public Error {
+ public:
+  explicit ConnectFailed(const std::string& what) : Error(what) {}
+};
+
+/// A response did not arrive within the client's per-request timeout. The
+/// connection state is indeterminate afterwards — resilient callers
+/// reconnect before retrying.
+class RequestTimeout : public Error {
+ public:
+  explicit RequestTimeout(const std::string& what) : Error(what) {}
+};
 
 class SocketServer {
  public:
+  /// Hard cap on one request line. A client that streams more without a
+  /// newline gets an ERR response and its connection closed — an oversized
+  /// line must not grow the server's buffer without bound.
+  static constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
   /// Handler for one request line; returns the full response text and sets
   /// `*shutdown` to ask the server to stop (the SHUTDOWN verb). Called
   /// concurrently from connection threads — svc::handle_request over a
@@ -58,12 +81,16 @@ class SocketServer {
 /// Blocking client for one server connection.
 class SocketClient {
  public:
-  /// Connects to the server at `path`; throws prs::Error when the server
-  /// is not reachable.
+  /// Connects to the server at `path`; throws svc::ConnectFailed when the
+  /// server is not reachable.
   explicit SocketClient(const std::string& path);
   SocketClient(const SocketClient&) = delete;
   SocketClient& operator=(const SocketClient&) = delete;
   ~SocketClient();
+
+  /// Per-request read deadline in milliseconds; 0 (the default) blocks
+  /// forever. On expiry request() throws svc::RequestTimeout.
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
 
   /// Sends one request line and returns the full response: the header line
   /// plus any `lines=<n>` continuation lines, '\n'-terminated each.
@@ -73,6 +100,7 @@ class SocketClient {
   std::string read_line();
 
   int fd_ = -1;
+  int timeout_ms_ = 0;
   std::string buffer_;  // bytes read past the last returned line
 };
 

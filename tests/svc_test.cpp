@@ -4,9 +4,12 @@
 // rejection, leak-free cancellation) and the socket line protocol.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -581,6 +584,157 @@ TEST(Protocol, SocketRoundTrip) {
       << done;
   sock.stop();
   server.stop();
+}
+
+// ------------------------------------------------- protocol hardening (fuzz)
+
+/// Raw AF_UNIX connection for abuse the well-behaved SocketClient cannot
+/// express: partial writes, silent hangs-up, oversized floods.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PRS_CHECK(fd_ >= 0, "socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    PRS_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+              "connect() failed");
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) return;  // server closed on us — that's allowed
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  std::string read_some() {
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    return n > 0 ? std::string(buf, static_cast<std::size_t>(n)) : "";
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Seeded garbage request line: random verbs, truncated SUBMITs, binary
+/// noise, stray '=' tokens — everything short of an embedded newline.
+std::string garbage_line(Rng& rng) {
+  switch (rng.uniform_index(6)) {
+    case 0: {  // random verb with random operands
+      std::string line = "FROB";
+      for (std::uint64_t i = 0; i < rng.uniform_index(4); ++i) {
+        line += " tok" + std::to_string(rng.uniform_index(100));
+      }
+      return line;
+    }
+    case 1:  // SUBMIT with malformed tokens
+      return "SUBMIT tenant=a app=cmeans =orphan points=abc";
+    case 2:  // SUBMIT cut off mid-token
+      return "SUBMIT tenant=a app=cme";
+    case 3: {  // binary noise
+      std::string line;
+      for (std::uint64_t i = 0; i < 1 + rng.uniform_index(64); ++i) {
+        char c = static_cast<char>(rng.uniform_index(256));
+        if (c == '\n') c = ' ';
+        line += c;
+      }
+      return line;
+    }
+    case 4:  // valid verb, nonsense job id
+      return "WAIT not-a-number";
+    default:  // empty-ish line
+      return "   ";
+  }
+}
+
+// The fuzz-lite acceptance: a storm of malformed, truncated, oversized and
+// interleaved request lines plus silent clients must neither crash nor
+// wedge the socket server — a PING afterwards still answers.
+TEST(Protocol, FuzzLiteGarbageNeverWedgesTheServer) {
+  JobServer server(server_cfg(1, 2));
+  server.add_tenant("a", TenantQuota{});
+  server.start();
+  const std::string path =
+      "/tmp/prs_fuzz_" + std::to_string(::getpid()) + ".sock";
+  SocketServer sock(path, [&server](const std::string& line, bool* sd) {
+    return handle_request(server, line, sd);
+  });
+
+  Rng rng(1234);
+  for (int i = 0; i < 48; ++i) {
+    SocketClient client(path);
+    const std::string resp = client.request(garbage_line(rng));
+    // Whatever the garbage was, the response is a well-formed ERR line —
+    // never silence, never a crash.
+    EXPECT_EQ(resp.rfind("ERR code=", 0), 0u) << resp;
+    EXPECT_EQ(resp.back(), '\n');
+  }
+
+  {  // Oversized line: bounded buffer, explicit rejection, closed socket.
+    RawConn conn(path);
+    conn.send(std::string(SocketServer::kMaxLineBytes + 512, 'x'));
+    const std::string resp = conn.read_some();
+    EXPECT_NE(resp.find("ERR code=line_too_long"), std::string::npos) << resp;
+  }
+  {  // Interleaved request: bytes dribble in across several writes.
+    RawConn conn(path);
+    conn.send("PI");
+    conn.send("NG");
+    conn.send("\n");
+    EXPECT_EQ(conn.read_some(), "OK pong\n");
+  }
+  {  // Silent client: connects, says nothing, hangs up.
+    RawConn conn(path);
+  }
+  {  // Half a line, then hang up mid-request.
+    RawConn conn(path);
+    conn.send("SUBMIT tenant=a app=cme");
+  }
+
+  // The server survived it all and still serves well-formed traffic.
+  SocketClient client(path);
+  EXPECT_EQ(client.request("PING"), "OK pong\n");
+  const std::string submitted =
+      client.request("SUBMIT tenant=a " + small_cmeans(3).to_tokens());
+  EXPECT_EQ(submitted.rfind("OK id=", 0), 0u) << submitted;
+  sock.stop();
+  server.stop();
+}
+
+TEST(Protocol, DedupKeyRidesTheWire) {
+  JobServer server(server_cfg(1, 2));
+  server.add_tenant("a", TenantQuota{});
+  bool shutdown = false;
+  const std::string submit =
+      "SUBMIT tenant=a dedup=k1 " + small_cmeans(3).to_tokens();
+  const std::string first = handle_request(server, submit, &shutdown);
+  EXPECT_EQ(first, "OK id=1\n");
+  // The retried SUBMIT is acknowledged with the same id, flagged deduped.
+  const std::string again = handle_request(server, submit, &shutdown);
+  EXPECT_EQ(again, "OK id=1 deduped=1\n");
+  server.run_until_idle();
+}
+
+TEST(Protocol, QueueFullSubmitsGetRetryAfterAdvice) {
+  JobServer server(server_cfg(1, 1, /*max_queue=*/1));
+  server.add_tenant("a", TenantQuota{});
+  bool shutdown = false;
+  const std::string submit =
+      "SUBMIT tenant=a " + small_cmeans(3).to_tokens();
+  EXPECT_EQ(handle_request(server, submit, &shutdown), "OK id=1\n");
+  // The queue bound is transient overload, not a hard error: the protocol
+  // answers RETRY-AFTER with the advised backoff.
+  const std::string shed = handle_request(server, submit, &shutdown);
+  EXPECT_EQ(shed.rfind("RETRY-AFTER ", 0), 0u) << shed;
+  EXPECT_NE(shed.find("code=queue_full"), std::string::npos) << shed;
+  server.run_until_idle();
 }
 
 }  // namespace

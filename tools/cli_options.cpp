@@ -104,6 +104,18 @@ client mode (against a running prs_serve; see DESIGN.md "Service layer"):
   --server-stats      print the server's svc.* metrics as JSON
   --drain-server      stop admissions; running jobs finish
   --shutdown-server   stop the server
+  --server-retries=N  reconnect/backoff budget for client requests: ride
+                      out a server restart or RETRY-AFTER shedding with up
+                      to N retries (default 0 = fail fast)
+  --retry-base-ms=MS  first backoff sleep; doubles per retry with seeded
+                      jitter, capped at 2000ms (default 50)
+  --retry-seed=S      jitter stream seed (deterministic schedule; default 1)
+  --server-timeout-ms=MS  per-request response deadline; expiry reconnects
+                      and retries (0 = wait forever, the default)
+  --dedup=KEY         idempotent submission: a retried SUBMIT with the same
+                      tenant+KEY returns the existing job id instead of
+                      admitting a duplicate (recommended with
+                      --server-retries)
 
   --list              list apps and testbeds
   --help              this text
@@ -245,6 +257,17 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       ok = parse_int(val, out.cancel_job) && out.cancel_job >= 1;
     } else if (key == "gpu-mem") {
       ok = parse_u64(val, out.gpu_mem_bytes) && out.gpu_mem_bytes > 0;
+    } else if (key == "server-retries") {
+      ok = parse_int(val, out.server_retries) && out.server_retries >= 0;
+    } else if (key == "retry-base-ms") {
+      ok = parse_int(val, out.retry_base_ms) && out.retry_base_ms >= 1;
+    } else if (key == "server-timeout-ms") {
+      ok = parse_int(val, out.server_timeout_ms) && out.server_timeout_ms >= 0;
+    } else if (key == "retry-seed") {
+      ok = parse_u64(val, out.retry_seed);
+    } else if (key == "dedup") {
+      out.dedup = val;
+      ok = !val.empty() && val.find(' ') == std::string::npos;
     } else {
       error = "unknown option: --" + key + " (see --help)";
       return false;
@@ -321,6 +344,17 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
   }
   if (out.submit && out.repeat != 1) {
     error = "--submit and --repeat are mutually exclusive";
+    return false;
+  }
+  if (!out.dedup.empty() && !out.submit) {
+    error = "--dedup only applies to --submit (it is the idempotent "
+            "submission key)";
+    return false;
+  }
+  if ((out.server_retries > 0 || out.server_timeout_ms > 0) &&
+      out.server_socket.empty()) {
+    error = "--server-retries/--server-timeout-ms require client mode "
+            "(--server=PATH)";
     return false;
   }
   if (out.submit && (!out.trace_path.empty() || !out.metrics_path.empty())) {

@@ -63,6 +63,13 @@ struct Options {
   bool shutdown_server = false;  // --shutdown-server
   std::uint64_t gpu_mem_bytes = 0;  // --gpu-mem=BYTES per-vGPU request
 
+  // Client resilience (see DESIGN.md "Durability & recovery").
+  int server_retries = 0;      // --server-retries=N: reconnect/backoff budget
+  int retry_base_ms = 50;      // --retry-base-ms=MS: first backoff sleep
+  int server_timeout_ms = 0;   // --server-timeout-ms=MS: per-request deadline
+  std::uint64_t retry_seed = 1;  // --retry-seed=S: backoff jitter stream
+  std::string dedup;           // --dedup=KEY: idempotent submit key
+
   /// Node hardware from the --testbed/--gpus flags.
   core::NodeConfig node_config() const {
     core::NodeConfig cfg;

@@ -34,6 +34,7 @@
 #include "obs/export.hpp"
 #include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
+#include "svc/client.hpp"
 #include "svc/launcher.hpp"
 #include "svc/protocol.hpp"
 #include "svc/socket.hpp"
@@ -203,29 +204,62 @@ int run(const tools::Options& opt) {
   return rc;
 }
 
-/// Prints one protocol response; returns 0 on an OK header, 1 on ERR.
+/// Prints one protocol response; returns 0 on an OK header, 1 otherwise
+/// (ERR or RETRY-AFTER that survived the retry budget).
 int print_response(const std::string& response) {
   const bool ok = response.rfind("OK", 0) == 0;
   std::fputs(response.c_str(), ok ? stdout : stderr);
   return ok ? 0 : 1;
 }
 
-/// Client mode: one request (or submit+wait) against a running prs_serve.
+// Client exit codes: 0 success, 1 server-side error / failed job,
+// 2 usage, 3 server unreachable (distinct so scripts can tell "the job
+// failed" from "the daemon is not there").
+constexpr int kExitUnreachable = 3;
+
+svc::RetryPolicy retry_policy(const tools::Options& opt) {
+  svc::RetryPolicy policy;
+  policy.retries = opt.server_retries;
+  policy.base_ms = opt.retry_base_ms;
+  policy.seed = opt.retry_seed;
+  policy.timeout_ms = opt.server_timeout_ms;
+  return policy;
+}
+
+/// Client mode: one request (or submit+wait) against a running prs_serve,
+/// riding out restarts and shedding within the --server-retries budget.
 int client_run(const tools::Options& opt) {
-  svc::SocketClient client(opt.server_socket);
+  const svc::RetryPolicy policy = retry_policy(opt);
+  svc::ResilientClient client(opt.server_socket, policy);
+  if (policy.retries > 0) {
+    // Announce the deterministic backoff schedule once, then narrate each
+    // retry as it happens — silence while sleeping looks like a hang.
+    std::fprintf(stderr, "retry schedule (on failure): %s\n",
+                 svc::backoff_schedule(policy).c_str());
+  }
+  client.set_retry_observer(
+      [](int attempt, int sleep_ms, const std::string& why) {
+        std::fprintf(stderr, "retry %d in %dms: %s\n", attempt, sleep_ms,
+                     why.c_str());
+      });
   if (opt.submit) {
     const svc::JobSpec spec = tools::to_job_spec(opt);
     std::string line = "SUBMIT tenant=" + opt.tenant;
+    if (!opt.dedup.empty()) line += " dedup=" + opt.dedup;
     const std::string tokens = spec.to_tokens();
     if (!tokens.empty()) line += " " + tokens;
-    const std::string submitted = client.request(line);
+    // Without a dedup key a SUBMIT must not be replayed once it may have
+    // reached the server — a crash between send and reply would otherwise
+    // admit the job twice.
+    const std::string submitted =
+        client.request(line, /*idempotent=*/!opt.dedup.empty());
     if (print_response(submitted) != 0) return 1;
     const long id = svc::header_field(submitted, "id", -1);
     if (id < 0) {
       std::fprintf(stderr, "error: server response carried no job id\n");
       return 1;
     }
-    const std::string done = client.request("WAIT " + std::to_string(id));
+    const std::string done = client.wait_job(static_cast<int>(id));
     int rc = print_response(done);
     if (rc == 0 && done.find(" state=DONE") == std::string::npos) rc = 1;
     return rc;
@@ -235,8 +269,7 @@ int client_run(const tools::Options& opt) {
         client.request("STATUS " + std::to_string(opt.job_status)));
   }
   if (opt.wait_job >= 0) {
-    return print_response(
-        client.request("WAIT " + std::to_string(opt.wait_job)));
+    return print_response(client.wait_job(opt.wait_job));
   }
   if (opt.cancel_job >= 0) {
     return print_response(
@@ -272,6 +305,13 @@ int main(int argc, char** argv) {
   try {
     if (!opt.server_socket.empty()) return client_run(opt);
     return run(opt);
+  } catch (const svc::ConnectFailed& e) {
+    std::fprintf(stderr,
+                 "error: server not running at %s? (%s)\n"
+                 "start it with: prs_serve --socket=%s\n",
+                 opt.server_socket.c_str(), e.what(),
+                 opt.server_socket.c_str());
+    return kExitUnreachable;
   } catch (const prs::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -9,14 +9,19 @@
 //   prs_serve --socket=/tmp/prs.sock --cards=2 --tenants=alice:2:4,bob:1:4
 //   prs_run --server=/tmp/prs.sock --tenant=alice --submit --app=cmeans ...
 //   prs_run --server=/tmp/prs.sock --shutdown-server
+#include <sys/stat.h>
+
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "exec/thread_pool.hpp"
+#include "svc/journal.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/socket.hpp"
@@ -34,6 +39,11 @@ struct ServeOptions {
   std::string tenants;      // name:weight[:max_vgpus],...
   std::string metrics_path; // svc.* metrics JSON, written on shutdown
   std::string trace_path;   // per-stage span timeline, written on shutdown
+  std::string journal_dir;  // write-ahead journal directory; empty = off
+  int journal_gate_every = 4;    // journal a GATE record every N stages
+  int journal_max_pending = 256; // fsync queue bound before shedding
+  std::string crash_after;  // TYPE[:N] — _Exit(137) after the N-th fsynced
+                            // record of TYPE (crash-matrix hook)
   bool show_help = false;
 };
 
@@ -54,6 +64,20 @@ usage: prs_serve [options]
   --host-threads=N     real host threads for the shared numeric pool
   --metrics=FILE       write svc.* metrics JSON on shutdown
   --trace=FILE         write the per-stage Chrome trace on shutdown
+  --journal-dir=DIR    write-ahead journal for crash recovery: job
+                       transitions are logged to DIR/journal.wal and
+                       replayed on startup, re-admitting incomplete jobs
+                       (resuming from their checkpoints when available)
+  --journal-gate-every=N
+                       journal a GATE progress record every N settled
+                       stages (default 4; 0 disables GATE records)
+  --journal-max-pending=N
+                       journal fsync queue bound; submits beyond it get
+                       RETRY-AFTER instead of blocking (default 256)
+  --crash-after-journal=TYPE[:N]
+                       test hook: _Exit(137) right after the N-th (default
+                       1st) fsynced record of TYPE (submit|start|gate|
+                       done|fail|cancel) — drives the crash matrix
   --help               this text
 
 Stop with: prs_run --server=PATH --shutdown-server
@@ -101,6 +125,18 @@ bool parse_serve_options(int argc, char** argv, ServeOptions& out,
       ok = !val.empty();
     } else if (key == "trace") {
       out.trace_path = val;
+      ok = !val.empty();
+    } else if (key == "journal-dir") {
+      out.journal_dir = val;
+      ok = !val.empty();
+    } else if (key == "journal-gate-every") {
+      ok = parse_int_arg(val, out.journal_gate_every) &&
+           out.journal_gate_every >= 0;
+    } else if (key == "journal-max-pending") {
+      ok = parse_int_arg(val, out.journal_max_pending) &&
+           out.journal_max_pending >= 1;
+    } else if (key == "crash-after-journal") {
+      out.crash_after = val;
       ok = !val.empty();
     } else {
       error = "unknown option: --" + key + " (see --help)";
@@ -157,15 +193,53 @@ void add_tenants(svc::JobServer& server, const std::string& spec,
   }
 }
 
+/// Wires --crash-after-journal=TYPE[:N] to a post-sync _Exit(137) so the
+/// crash matrix can kill the daemon at a precise durability boundary.
+void arm_crash_hook(svc::Journal& journal, const std::string& spec) {
+  std::string name = spec;
+  std::uint64_t nth = 1;
+  if (auto colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    int n = 0;
+    PRS_REQUIRE(parse_int_arg(spec.substr(colon + 1), n) && n >= 1,
+                "malformed --crash-after-journal count in '" + spec + "'");
+    nth = static_cast<std::uint64_t>(n);
+  }
+  svc::JournalRecordType type;
+  PRS_REQUIRE(svc::parse_journal_record_name(name, &type),
+              "unknown --crash-after-journal record type '" + name + "'");
+  journal.set_post_sync_hook(
+      [type, nth](svc::JournalRecordType t, std::uint64_t count) {
+        if (t == type && count >= nth) {
+          // _Exit: no destructors, no flush — exactly what a crash is.
+          std::_Exit(137);
+        }
+      });
+}
+
 int serve(const ServeOptions& opt) {
   if (opt.host_threads > 0) {
     exec::ThreadPool::instance().configure(opt.host_threads);
+  }
+  std::unique_ptr<svc::Journal> journal;
+  if (!opt.journal_dir.empty()) {
+    ::mkdir(opt.journal_dir.c_str(), 0755);  // EEXIST is fine
+    svc::Journal::Config jcfg;
+    jcfg.path = opt.journal_dir + "/journal.wal";
+    jcfg.max_pending = opt.journal_max_pending;
+    journal = std::make_unique<svc::Journal>(jcfg);
+    if (!opt.crash_after.empty()) arm_crash_hook(*journal, opt.crash_after);
+  } else {
+    PRS_REQUIRE(opt.crash_after.empty(),
+                "--crash-after-journal requires --journal-dir");
   }
   svc::JobServer::Config cfg;
   cfg.pool.cards = opt.cards;
   cfg.pool.slots_per_card = opt.slots_per_card;
   cfg.admission.max_queue_depth = opt.max_queue;
   cfg.record_trace = !opt.trace_path.empty();
+  cfg.journal = journal.get();
+  cfg.journal_gate_every = opt.journal_gate_every;
   svc::JobServer server(cfg);
   if (opt.tenants.empty()) {
     svc::TenantQuota quota;
@@ -173,6 +247,17 @@ int serve(const ServeOptions& opt) {
     server.add_tenant("default", quota);
   } else {
     add_tenants(server, opt.tenants, server.pool().capacity());
+  }
+  if (journal) {
+    const svc::JobServer::RecoveryStats rec = server.recover();
+    if (rec.journal_records > 0) {
+      std::printf(
+          "recovered %d job(s) from %s (%d record(s)%s): "
+          "%d restored, %d resumed from checkpoint, %d failed\n",
+          rec.jobs_recovered, journal->path().c_str(), rec.journal_records,
+          rec.torn_tail ? ", torn tail" : "", rec.jobs_restored,
+          rec.jobs_resumed, rec.jobs_failed);
+    }
   }
   server.start();
 
