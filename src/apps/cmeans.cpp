@@ -7,6 +7,7 @@
 #include "core/calibration.hpp"
 #include "exec/parallel.hpp"
 #include "linalg/blas.hpp"
+#include "simd/kernels.hpp"
 
 namespace prs::apps {
 namespace {
@@ -18,19 +19,19 @@ constexpr std::size_t kMapGrain = 256;
 
 /// Membership weights u_ij^m of one point against all centers (Eq (13)).
 /// Returns the per-cluster weights and accumulates the J_m contribution.
-void fuzzy_weights(std::span<const double> x, const linalg::MatrixD& centers,
-                   double fuzziness, std::vector<double>& weights,
-                   double& objective) {
-  const std::size_t m = centers.rows();
-  const std::size_t d = centers.cols();
+/// `ct` is the transposed center pack (ct[c*m + j] = centers(j, c)) so the
+/// dispatched distance kernel reads contiguous lanes.
+void fuzzy_weights(const double* x, const double* ct, std::size_t m,
+                   std::size_t d, const simd::Kernels& kn, double fuzziness,
+                   std::vector<double>& weights, double& objective) {
   weights.assign(m, 0.0);
 
   // Squared distances to every center.
   static thread_local std::vector<double> dist2;
   dist2.assign(m, 0.0);
+  kn.dist2_block(x, ct, m, d, dist2.data());
   std::size_t hits = 0;
   for (std::size_t j = 0; j < m; ++j) {
-    dist2[j] = linalg::squared_distance<double>(x, {centers.row(j), d});
     if (dist2[j] == 0.0) ++hits;
   }
   if (hits > 0) {
@@ -69,16 +70,20 @@ void accumulate_range(const linalg::MatrixD& points,
                       std::vector<std::vector<double>>& partials) {
   const std::size_t m = centers.rows();
   const std::size_t d = centers.cols();
+  const simd::Kernels& kn = simd::active_kernels();
+  static thread_local std::vector<double> ct;
+  simd::pack_transposed(centers.row(0), m, d, ct);
   std::vector<double> weights;
   for (std::size_t i = begin; i < end; ++i) {
     double objective = 0.0;
-    fuzzy_weights({points.row(i), d}, centers, fuzziness, weights, objective);
+    fuzzy_weights(points.row(i), ct.data(), m, d, kn, fuzziness, weights,
+                  objective);
     for (std::size_t j = 0; j < m; ++j) {
       const double w = weights[j];
       if (w == 0.0) continue;
       auto& p = partials[j];
       const double* x = points.row(i);
-      for (std::size_t c = 0; c < d; ++c) p[c] += w * x[c];
+      kn.axpy_acc(p.data(), x, w, d);
       p[d] += w;
     }
     // The objective is accounted on cluster 0's partial (summed globally).
@@ -112,15 +117,19 @@ std::vector<int> hard_assignment(const linalg::MatrixD& points,
                                  const linalg::MatrixD& centers) {
   // argmax_j u_ij == argmin_j ||x_i - c_j|| for any fuzziness > 1.
   const std::size_t d = points.cols();
+  const std::size_t m = centers.rows();
+  const simd::Kernels& kn = simd::active_kernels();
+  std::vector<double> ct;
+  simd::pack_transposed(centers.row(0), m, d, ct);
+  std::vector<double> dist2(m);
   std::vector<int> out(points.rows());
   for (std::size_t i = 0; i < points.rows(); ++i) {
+    kn.dist2_block(points.row(i), ct.data(), m, d, dist2.data());
     double best = std::numeric_limits<double>::infinity();
     int arg = 0;
-    for (std::size_t j = 0; j < centers.rows(); ++j) {
-      const double d2 = linalg::squared_distance<double>(
-          {points.row(i), d}, {centers.row(j), d});
-      if (d2 < best) {
-        best = d2;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (dist2[j] < best) {
+        best = dist2[j];
         arg = static_cast<int>(j);
       }
     }

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "core/calibration.hpp"
 #include "exec/parallel.hpp"
+#include "simd/kernels.hpp"
 
 namespace prs::apps {
 namespace {
@@ -40,14 +41,36 @@ void accumulate_range(const linalg::MatrixD& points, const GmmModel& model,
                       std::vector<std::vector<double>>& partials) {
   const std::size_t m = model.means.rows();
   const std::size_t d = model.means.cols();
+  const simd::Kernels& kn = simd::active_kernels();
+
+  // Transposed mean/variance packs for the lane-per-component quadratic
+  // kernel, plus per-component log-determinants hoisted out of the point
+  // loop: logdet is a pure function of the variances, summed in the same
+  // ascending-c order as log_gaussian, so hoisting does not change a bit.
+  static thread_local std::vector<double> mu_t, var_t;
+  simd::pack_transposed(model.means.row(0), m, d, mu_t);
+  simd::pack_transposed(model.variances.row(0), m, d, var_t);
+  static thread_local std::vector<double> logdetc, quad;
+  logdetc.assign(m, 0.0);
+  quad.assign(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    double logdet = 0.0;
+    const double* var = model.variances.row(j);
+    for (std::size_t c = 0; c < d; ++c) logdet += std::log(var[c]);
+    logdetc[j] = logdet;
+  }
+  const double dl2pi =
+      static_cast<double>(d) * std::log(2.0 * std::numbers::pi);
 
   std::vector<double> logp(m);
   for (std::size_t i = begin; i < end; ++i) {
-    std::span<const double> x{points.row(i), d};
+    const double* x = points.row(i);
+    kn.quad_block(x, mu_t.data(), var_t.data(), m, d, quad.data());
     double max_log = -std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < m; ++j) {
+      // Same association as log_gaussian: (quad + logdet) + d*log(2*pi).
       logp[j] = std::log(model.weights[j]) +
-                log_gaussian(x, model.means, model.variances, j);
+                -0.5 * (quad[j] + logdetc[j] + dl2pi);
       max_log = std::max(max_log, logp[j]);
     }
     // log-sum-exp for numerical stability.
@@ -61,10 +84,7 @@ void accumulate_range(const linalg::MatrixD& points, const GmmModel& model,
       if (r == 0.0) continue;
       auto& p = partials[j];
       p[0] += r;
-      for (std::size_t c = 0; c < d; ++c) {
-        p[1 + c] += r * x[c];
-        p[1 + d + c] += r * x[c] * x[c];
-      }
+      kn.moments_acc(p.data() + 1, p.data() + 1 + d, x, r, d);
     }
   }
 }

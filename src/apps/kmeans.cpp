@@ -9,6 +9,7 @@
 #include "core/calibration.hpp"
 #include "exec/parallel.hpp"
 #include "linalg/blas.hpp"
+#include "simd/kernels.hpp"
 
 namespace prs::apps {
 namespace {
@@ -40,13 +41,28 @@ void accumulate_range(const linalg::MatrixD& points,
                       const linalg::MatrixD& centers, std::size_t begin,
                       std::size_t end,
                       std::vector<std::vector<double>>& partials) {
+  const std::size_t m = centers.rows();
   const std::size_t d = centers.cols();
+  const simd::Kernels& kn = simd::active_kernels();
+  static thread_local std::vector<double> ct;
+  simd::pack_transposed(centers.row(0), m, d, ct);
+  static thread_local std::vector<double> dist2;
+  dist2.assign(m, 0.0);
   for (std::size_t i = begin; i < end; ++i) {
-    double d2 = 0.0;
-    const int j = nearest_center({points.row(i), d}, centers, d2);
-    auto& p = partials[static_cast<std::size_t>(j)];
     const double* x = points.row(i);
-    for (std::size_t c = 0; c < d; ++c) p[c] += x[c];
+    // Same strict-< ascending-j argmin as nearest_center, on dispatched
+    // per-center distances (bit-identical across SIMD levels).
+    kn.dist2_block(x, ct.data(), m, d, dist2.data());
+    double d2 = std::numeric_limits<double>::infinity();
+    std::size_t j = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (dist2[k] < d2) {
+        d2 = dist2[k];
+        j = k;
+      }
+    }
+    auto& p = partials[j];
+    kn.add_acc(p.data(), x, d);
     p[d] += 1.0;
     partials[0][d + 1] += d2;  // inertia accounted on cluster 0
   }

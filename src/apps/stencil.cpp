@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "core/calibration.hpp"
 #include "exec/parallel.hpp"
+#include "simd/kernels.hpp"
 
 namespace prs::apps {
 namespace {
@@ -25,9 +26,12 @@ double relax_rows(const linalg::MatrixD& in, std::size_t begin,
                   std::size_t end, std::vector<double>& out) {
   const std::size_t cols = in.cols();
   out.assign((end - begin) * cols, 0.0);
+  const simd::Kernels& kn = simd::active_kernels();
   // Jacobi reads only the previous grid: every output row is disjoint and
   // max() is exact, so the host-pool version is byte-identical to the
-  // serial sweep for any thread count.
+  // serial sweep for any thread count. The dispatched row kernel keeps the
+  // ((up+down)+left)+right association of the scalar expression, and max
+  // over non-negative |v - mid| is order-free, so vector rows match too.
   return exec::parallel_reduce(
       begin, end, kRowGrain, 0.0,
       [&](std::size_t rb, std::size_t re, double max_update) {
@@ -36,12 +40,10 @@ double relax_rows(const linalg::MatrixD& in, std::size_t begin,
           // Boundary columns stay fixed.
           row_out[0] = in(r, 0);
           row_out[cols - 1] = in(r, cols - 1);
-          for (std::size_t c = 1; c + 1 < cols; ++c) {
-            const double v = 0.25 * (in(r - 1, c) + in(r + 1, c) +
-                                     in(r, c - 1) + in(r, c + 1));
-            row_out[c] = v;
-            max_update = std::max(max_update, std::fabs(v - in(r, c)));
-          }
+          const double row_max =
+              kn.stencil_row(row_out, in.row(r), in.row(r - 1), in.row(r + 1),
+                             cols);
+          max_update = std::max(max_update, row_max);
         }
         return max_update;
       },

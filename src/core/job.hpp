@@ -192,6 +192,14 @@ struct JobConfig {
   /// executing it. Iterative jobs overwrite the file per window; the
   /// final content is the last graph built.
   std::string graph_dump_path;
+
+  /// Measured host vector-throughput multiplier fed into Eq (8): the
+  /// scheduler scales the roofline CPU rate Fc by this factor before
+  /// deriving the CPU fraction p = Fc/(Fc+Fg) (see
+  /// WorkloadSplit::with_cpu_scale). 1.0 (the default) keeps the
+  /// paper-calibrated split untouched; `prs_run --simd-calibrate` sets it
+  /// from simd::measure_host_speedup().
+  double host_simd_scale = 1.0;
 };
 
 /// Utilization and cost accounting for one job (or one iteration batch).

@@ -16,9 +16,12 @@ NodeDecision SchedulePolicy::node_decision(Cluster& cluster,
                                            const JobConfig& cfg, int rank) {
   const auto& sched = cluster.scheduler(rank);
   const int gpus = cluster.node(rank).gpu_count();
-  const auto split =
+  auto split =
       sched.workload_split(shape.ai_cpu, shape.ai_gpu,
                            !shape.gpu_data_cached, std::max(1, gpus));
+  if (cfg.host_simd_scale != 1.0) {
+    split = split.with_cpu_scale(cfg.host_simd_scale);
+  }
 
   NodeDecision d;
   // CPU fraction p: override > analytic model > single-backend cases.

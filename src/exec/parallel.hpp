@@ -32,7 +32,9 @@ inline constexpr std::size_t kDefaultGrain = 1024;
 /// Number of fixed chunks for a range of `n` items at grain `g`.
 inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
   PRS_REQUIRE(grain > 0, "parallel grain must be positive");
-  return n == 0 ? 0 : (n + grain - 1) / grain;
+  // 1 + (n-1)/g, not (n+g-1)/g: the latter wraps for grain near
+  // SIZE_MAX and would report 0 chunks for a non-empty range.
+  return n == 0 ? 0 : 1 + (n - 1) / grain;
 }
 
 namespace detail {
@@ -49,7 +51,9 @@ class ForJob final : public ParallelJob {
 
   void run_chunk(std::size_t chunk) override {
     const std::size_t cb = begin_ + chunk * grain_;
-    const std::size_t ce = cb + grain_ < end_ ? cb + grain_ : end_;
+    // end_ - cb > grain_, not cb + grain_ < end_: the sum wraps when the
+    // range sits near SIZE_MAX and would hand out a truncated chunk.
+    const std::size_t ce = end_ - cb > grain_ ? cb + grain_ : end_;
     body_(cb, ce);
   }
 
@@ -73,7 +77,7 @@ class ReduceJob final : public ParallelJob {
 
   void run_chunk(std::size_t chunk) override {
     const std::size_t cb = begin_ + chunk * grain_;
-    const std::size_t ce = cb + grain_ < end_ ? cb + grain_ : end_;
+    const std::size_t ce = end_ - cb > grain_ ? cb + grain_ : end_;
     partials_[chunk] = body_(cb, ce, identity_);
   }
 

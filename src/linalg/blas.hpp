@@ -7,10 +7,14 @@
 
 #include <cmath>
 #include <span>
+#include <type_traits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
 #include "linalg/matrix.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
 
 namespace prs::linalg {
 
@@ -22,9 +26,20 @@ void axpy(T alpha, std::span<const T> x, std::span<T> y) {
 }
 
 /// Dot product. Flops: 2n.
+///
+/// A single running sum cannot vectorize without reassociating, so the
+/// deterministic tier keeps the scalar loop at every SIMD level; the
+/// multi-accumulator fused kernel is only reachable through the explicit
+/// fma opt-in (PRS_SIMD_FMA / --simd-fma), which waives bit-identity for
+/// a documented ULP bound.
 template <typename T>
 T dot(std::span<const T> x, std::span<const T> y) {
   PRS_REQUIRE(x.size() == y.size(), "dot size mismatch");
+  if constexpr (std::is_same_v<T, double>) {
+    if (simd::fma_allowed()) {
+      return simd::active_kernels().dot_fast(x.data(), y.data(), x.size());
+    }
+  }
   T acc{};
   for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
   return acc;
@@ -37,8 +52,16 @@ T dot(std::span<const T> x, std::span<const T> y) {
 /// magnitude `scale` and accumulates sum((x_i/scale)^2), so inputs near
 /// 1e200 no longer overflow to inf when squared and inputs near 1e-200 no
 /// longer underflow to 0.
+/// Special-value contract (LAPACK dnrm2 parity): any NaN input yields NaN;
+/// otherwise any +/-Inf input yields +Inf; signed zeros are skipped (they
+/// contribute nothing and never become the scale).
 template <typename T>
 T nrm2(std::span<const T> x) {
+  if constexpr (std::is_same_v<T, double>) {
+    if (simd::fma_allowed()) {
+      return simd::active_kernels().nrm2_fast(x.data(), x.size());
+    }
+  }
   T scale{};   // largest |x_i| seen so far
   T ssq{1};    // sum of (x_i / scale)^2
   bool any = false;
@@ -53,6 +76,12 @@ T nrm2(std::span<const T> x) {
       const T r = scale / av;
       ssq = T{1} + ssq * r * r;
       scale = av;
+    } else if (av == scale) {
+      // av/scale would be exactly 1 for finite values, so adding 1
+      // directly is bit-identical — and it keeps Inf inputs from
+      // producing Inf/Inf = NaN (the norm of a vector containing an
+      // infinity is +Inf, not NaN).
+      ssq += T{1};
     } else {
       const T r = av / scale;
       ssq += r * r;
@@ -81,6 +110,27 @@ void gemv(T alpha, const Matrix<T>& a, std::span<const T> x, T beta,
           std::span<T> y) {
   PRS_REQUIRE(x.size() == a.cols(), "gemv: x size must equal cols");
   PRS_REQUIRE(y.size() == a.rows(), "gemv: y size must equal rows");
+  if constexpr (std::is_same_v<T, double>) {
+    // Lane-per-row: each output row accumulates in the same ascending-c
+    // mul+add order as the scalar loop, so row_dots is bit-identical at
+    // every SIMD level. The fused per-row dot is fma-tier only.
+    if (a.rows() > 0) {
+      const simd::Kernels& kn = simd::active_kernels();
+      std::vector<double> acc(a.rows());
+      if (simd::fma_allowed()) {
+        for (std::size_t r = 0; r < a.rows(); ++r) {
+          acc[r] = kn.dot_fast(a.row(r), x.data(), a.cols());
+        }
+      } else {
+        kn.row_dots(a.row(0), a.cols(), a.rows(), a.cols(), x.data(),
+                    acc.data());
+      }
+      for (std::size_t r = 0; r < a.rows(); ++r) {
+        y[r] = alpha * acc[r] + beta * y[r];
+      }
+    }
+    return;
+  }
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const T* row = a.row(r);
     T acc{};
@@ -130,13 +180,21 @@ void gemm_blocked(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
   PRS_REQUIRE(block > 0, "block size must be positive");
   const std::size_t m = a.rows(), n = b.cols(), kk = a.cols();
   const std::size_t row_blocks = (m + block - 1) / block;
+  // Hoisted once: active_kernels() reads an atomic, and the level must not
+  // change between chunks of one call anyway.
+  const simd::Kernels& kn = simd::active_kernels();
+  const bool fma = simd::fma_allowed();
   exec::parallel_for(0, row_blocks, 1, [&](std::size_t rb0, std::size_t rb1) {
     for (std::size_t rb = rb0; rb < rb1; ++rb) {
       const std::size_t i0 = rb * block;
       const std::size_t i1 = std::min(i0 + block, m);
       for (std::size_t i = i0; i < i1; ++i) {
         T* crow = c.row(i);
-        for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+        if constexpr (std::is_same_v<T, double>) {
+          kn.scale(crow, beta, n);
+        } else {
+          for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
       }
       for (std::size_t k0 = 0; k0 < kk; k0 += block) {
         const std::size_t k1 = std::min(k0 + block, kk);
@@ -147,7 +205,15 @@ void gemm_blocked(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
             for (std::size_t k = k0; k < k1; ++k) {
               const T aik = alpha * a(i, k);
               const T* brow = b.row(k);
-              for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+              // crow[j] += aik * brow[j] is element-wise (one product, one
+              // add per C element, no cross-element reassociation), so the
+              // vector form is bit-identical to the scalar loop.
+              if constexpr (std::is_same_v<T, double>) {
+                (fma ? kn.axpy_acc_fast : kn.axpy_acc)(crow + j0, brow + j0,
+                                                       aik, j1 - j0);
+              } else {
+                for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+              }
             }
           }
         }

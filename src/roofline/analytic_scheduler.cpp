@@ -7,6 +7,16 @@
 
 namespace prs::roofline {
 
+WorkloadSplit WorkloadSplit::with_cpu_scale(double scale) const {
+  PRS_REQUIRE(scale > 0.0, "CPU rate scale must be positive");
+  WorkloadSplit out = *this;
+  out.cpu_rate = cpu_rate * scale;
+  // Eq (5)/(8) re-derived with the scaled Fc; regime classification keeps
+  // the calibrated ridge comparison (it depends on intensities, not Fc).
+  out.cpu_fraction = out.cpu_rate / (out.cpu_rate + out.gpu_rate);
+  return out;
+}
+
 AnalyticScheduler::AnalyticScheduler(simdev::DeviceSpec cpu,
                                      simdev::DeviceSpec gpu)
     : cpu_(std::move(cpu)), gpu_(std::move(gpu)) {

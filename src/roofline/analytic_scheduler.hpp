@@ -36,6 +36,12 @@ struct WorkloadSplit {
   /// Effective GPU rate Fg used in the derivation (flops/s).
   double gpu_rate = 0.0;
   SplitRegime regime = SplitRegime::kBelowCpuRidge;
+
+  /// The same split with the CPU rate multiplied by `scale` and the Eq (8)
+  /// fraction p = Fc/(Fc+Fg) re-derived. Feeds measured host vector
+  /// throughput (e.g. simd::measure_host_speedup) back into the paper
+  /// model without re-calibrating the roofline parameters.
+  WorkloadSplit with_cpu_scale(double scale) const;
 };
 
 /// Arithmetic intensity of an application as a function of its block size

@@ -1,0 +1,268 @@
+// AVX2 kernel table. Compiled with -mavx2 -mfma -ffp-contract=off (see
+// simd/CMakeLists.txt); when the compiler lacks those flags the table
+// falls back to the scalar reference and avx2_compiled() reports false.
+//
+// Determinism: the deterministic-tier kernels are lane-per-output —
+// vector lane j accumulates output element j over the SAME ascending-c
+// sequence of unfused multiplies and adds as the scalar reference, so
+// each lane reproduces the scalar rounding exactly. Only the fma-tier
+// entries at the bottom use _mm256_fmadd_pd / multiple accumulators.
+#include "simd/tables.hpp"
+
+#include "simd/scalar_ref.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prs::simd {
+namespace {
+
+constexpr std::size_t kW = 4;  // doubles per __m256d
+
+void dist2_block(const double* x, const double* ct, std::size_t m,
+                 std::size_t d, double* out) {
+  std::size_t j = 0;
+  for (; j + kW <= m; j += kW) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < d; ++c) {
+      const __m256d xc = _mm256_set1_pd(x[c]);
+      const __m256d cc = _mm256_loadu_pd(ct + c * m + j);
+      const __m256d diff = _mm256_sub_pd(xc, cc);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  if (j < m) {
+    // Tail centers: the scalar reference on the same packed layout.
+    for (; j < m; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        const double diff = x[c] - ct[c * m + j];
+        acc += diff * diff;
+      }
+      out[j] = acc;
+    }
+  }
+}
+
+void quad_block(const double* x, const double* mu_t, const double* var_t,
+                std::size_t m, std::size_t d, double* out) {
+  std::size_t j = 0;
+  for (; j + kW <= m; j += kW) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < d; ++c) {
+      const __m256d xc = _mm256_set1_pd(x[c]);
+      const __m256d mu = _mm256_loadu_pd(mu_t + c * m + j);
+      const __m256d var = _mm256_loadu_pd(var_t + c * m + j);
+      const __m256d diff = _mm256_sub_pd(xc, mu);
+      acc = _mm256_add_pd(acc,
+                          _mm256_div_pd(_mm256_mul_pd(diff, diff), var));
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  for (; j < m; ++j) {
+    double quad = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x[c] - mu_t[c * m + j];
+      quad += diff * diff / var_t[c * m + j];
+    }
+    out[j] = quad;
+  }
+}
+
+void axpy_acc(double* acc, const double* x, double w, std::size_t n) {
+  const __m256d wv = _mm256_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(a, _mm256_mul_pd(wv, xv)));
+  }
+  for (; i < n; ++i) acc[i] += w * x[i];
+}
+
+void add_acc(double* acc, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(a, xv));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void moments_acc(double* p1, double* p2, const double* x, double r,
+                 std::size_t n) {
+  const __m256d rv = _mm256_set1_pd(r);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d rx = _mm256_mul_pd(rv, xv);
+    _mm256_storeu_pd(p1 + i, _mm256_add_pd(_mm256_loadu_pd(p1 + i), rx));
+    _mm256_storeu_pd(
+        p2 + i, _mm256_add_pd(_mm256_loadu_pd(p2 + i), _mm256_mul_pd(rx, xv)));
+  }
+  for (; i < n; ++i) {
+    p1[i] += r * x[i];
+    p2[i] += r * x[i] * x[i];
+  }
+}
+
+void scale(double* v, double s, std::size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm256_storeu_pd(v + i, _mm256_mul_pd(_mm256_loadu_pd(v + i), sv));
+  }
+  for (; i < n; ++i) v[i] *= s;
+}
+
+void row_dots(const double* a, std::size_t lda, std::size_t rows,
+              std::size_t d, const double* x, double* out) {
+  std::size_t r = 0;
+  for (; r + kW <= rows; r += kW) {
+    const double* r0 = a + (r + 0) * lda;
+    const double* r1 = a + (r + 1) * lda;
+    const double* r2 = a + (r + 2) * lda;
+    const double* r3 = a + (r + 3) * lda;
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < d; ++c) {
+      const __m256d av = _mm256_set_pd(r3[c], r2[c], r1[c], r0[c]);
+      const __m256d xv = _mm256_set1_pd(x[c]);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(av, xv));
+    }
+    _mm256_storeu_pd(out + r, acc);
+  }
+  if (r < rows) ref::row_dots(a + r * lda, lda, rows - r, d, x, out + r);
+}
+
+double stencil_row(double* out, const double* mid, const double* up,
+                   const double* down, std::size_t cols) {
+  const __m256d quarter = _mm256_set1_pd(0.25);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d vmax = _mm256_setzero_pd();
+  std::size_t c = 1;
+  if (cols >= 2) {
+    for (; c + kW <= cols - 1; c += kW) {
+      const __m256d sum = _mm256_add_pd(
+          _mm256_add_pd(
+              _mm256_add_pd(_mm256_loadu_pd(up + c), _mm256_loadu_pd(down + c)),
+              _mm256_loadu_pd(mid + c - 1)),
+          _mm256_loadu_pd(mid + c + 1));
+      const __m256d v = _mm256_mul_pd(quarter, sum);
+      _mm256_storeu_pd(out + c, v);
+      const __m256d diff = _mm256_andnot_pd(
+          sign_mask, _mm256_sub_pd(v, _mm256_loadu_pd(mid + c)));
+      vmax = _mm256_max_pd(vmax, diff);
+    }
+  }
+  double lanes[kW];
+  _mm256_storeu_pd(lanes, vmax);
+  double max_update = std::max(std::max(lanes[0], lanes[1]),
+                               std::max(lanes[2], lanes[3]));
+  for (; c + 1 < cols; ++c) {
+    const double v = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+    out[c] = v;
+    max_update = std::max(max_update, std::fabs(v - mid[c]));
+  }
+  return max_update;
+}
+
+// ---- fma tier ----
+
+double dot_fast(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 * kW <= n; i += 4 * kW) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + kW <= n; i += kW) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  const __m256d acc =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  double lanes[kW];
+  _mm256_storeu_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double nrm2_fast(const double* x, std::size_t n) {
+  // Pass 1 (exact): max magnitude + NaN/Inf screening.
+  double amax = 0.0;
+  bool any_nan = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = std::fabs(x[i]);
+    if (std::isnan(av)) any_nan = true;
+    amax = std::max(amax, av);
+  }
+  if (any_nan) return std::numeric_limits<double>::quiet_NaN();
+  if (amax == 0.0) return 0.0;
+  if (std::isinf(amax)) return std::numeric_limits<double>::infinity();
+  // Pass 2: vectorized sum of (x/amax)^2 with fused accumulators.
+  const __m256d av = _mm256_set1_pd(amax);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256d r = _mm256_div_pd(_mm256_loadu_pd(x + i), av);
+    acc = _mm256_fmadd_pd(r, r, acc);
+  }
+  double lanes[kW];
+  _mm256_storeu_pd(lanes, acc);
+  double ssq = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    const double r = x[i] / amax;
+    ssq += r * r;
+  }
+  return amax * std::sqrt(ssq);
+}
+
+void axpy_acc_fast(double* acc, const double* x, double w, std::size_t n) {
+  const __m256d wv = _mm256_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    _mm256_storeu_pd(acc + i,
+                     _mm256_fmadd_pd(wv, _mm256_loadu_pd(x + i), a));
+  }
+  for (; i < n; ++i) acc[i] += w * x[i];
+}
+
+}  // namespace
+
+bool avx2_compiled() { return true; }
+
+const Kernels& avx2_kernels() {
+  static const Kernels table = {
+      dist2_block, quad_block,  axpy_acc, add_acc,   moments_acc, scale,
+      row_dots,    stencil_row, dot_fast, nrm2_fast, axpy_acc_fast,
+  };
+  return table;
+}
+
+}  // namespace prs::simd
+
+#else  // !__AVX2__
+
+namespace prs::simd {
+bool avx2_compiled() { return false; }
+const Kernels& avx2_kernels() { return scalar_kernels(); }
+}  // namespace prs::simd
+
+#endif

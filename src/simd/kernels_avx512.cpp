@@ -1,0 +1,252 @@
+// AVX-512 kernel table (8-wide). Compiled with -mavx512f -mavx512dq
+// -ffp-contract=off; falls back to the scalar table when the compiler
+// lacks the flags. Same lane-per-output determinism argument as the AVX2
+// TU — only the fma-tier entries fuse or reassociate.
+#include "simd/tables.hpp"
+
+#include "simd/scalar_ref.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prs::simd {
+namespace {
+
+constexpr std::size_t kW = 8;  // doubles per __m512d
+
+void dist2_block(const double* x, const double* ct, std::size_t m,
+                 std::size_t d, double* out) {
+  std::size_t j = 0;
+  for (; j + kW <= m; j += kW) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < d; ++c) {
+      const __m512d xc = _mm512_set1_pd(x[c]);
+      const __m512d cc = _mm512_loadu_pd(ct + c * m + j);
+      const __m512d diff = _mm512_sub_pd(xc, cc);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    _mm512_storeu_pd(out + j, acc);
+  }
+  for (; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x[c] - ct[c * m + j];
+      acc += diff * diff;
+    }
+    out[j] = acc;
+  }
+}
+
+void quad_block(const double* x, const double* mu_t, const double* var_t,
+                std::size_t m, std::size_t d, double* out) {
+  std::size_t j = 0;
+  for (; j + kW <= m; j += kW) {
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < d; ++c) {
+      const __m512d xc = _mm512_set1_pd(x[c]);
+      const __m512d mu = _mm512_loadu_pd(mu_t + c * m + j);
+      const __m512d var = _mm512_loadu_pd(var_t + c * m + j);
+      const __m512d diff = _mm512_sub_pd(xc, mu);
+      acc = _mm512_add_pd(acc,
+                          _mm512_div_pd(_mm512_mul_pd(diff, diff), var));
+    }
+    _mm512_storeu_pd(out + j, acc);
+  }
+  for (; j < m; ++j) {
+    double quad = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x[c] - mu_t[c * m + j];
+      quad += diff * diff / var_t[c * m + j];
+    }
+    out[j] = quad;
+  }
+}
+
+void axpy_acc(double* acc, const double* x, double w, std::size_t n) {
+  const __m512d wv = _mm512_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m512d a = _mm512_loadu_pd(acc + i);
+    const __m512d xv = _mm512_loadu_pd(x + i);
+    _mm512_storeu_pd(acc + i, _mm512_add_pd(a, _mm512_mul_pd(wv, xv)));
+  }
+  for (; i < n; ++i) acc[i] += w * x[i];
+}
+
+void add_acc(double* acc, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m512d a = _mm512_loadu_pd(acc + i);
+    _mm512_storeu_pd(acc + i, _mm512_add_pd(a, _mm512_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void moments_acc(double* p1, double* p2, const double* x, double r,
+                 std::size_t n) {
+  const __m512d rv = _mm512_set1_pd(r);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m512d xv = _mm512_loadu_pd(x + i);
+    const __m512d rx = _mm512_mul_pd(rv, xv);
+    _mm512_storeu_pd(p1 + i, _mm512_add_pd(_mm512_loadu_pd(p1 + i), rx));
+    _mm512_storeu_pd(
+        p2 + i, _mm512_add_pd(_mm512_loadu_pd(p2 + i), _mm512_mul_pd(rx, xv)));
+  }
+  for (; i < n; ++i) {
+    p1[i] += r * x[i];
+    p2[i] += r * x[i] * x[i];
+  }
+}
+
+void scale(double* v, double s, std::size_t n) {
+  const __m512d sv = _mm512_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    _mm512_storeu_pd(v + i, _mm512_mul_pd(_mm512_loadu_pd(v + i), sv));
+  }
+  for (; i < n; ++i) v[i] *= s;
+}
+
+void row_dots(const double* a, std::size_t lda, std::size_t rows,
+              std::size_t d, const double* x, double* out) {
+  std::size_t r = 0;
+  for (; r + kW <= rows; r += kW) {
+    const double* rp[kW];
+    for (std::size_t l = 0; l < kW; ++l) rp[l] = a + (r + l) * lda;
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < d; ++c) {
+      const __m512d av =
+          _mm512_set_pd(rp[7][c], rp[6][c], rp[5][c], rp[4][c], rp[3][c],
+                        rp[2][c], rp[1][c], rp[0][c]);
+      const __m512d xv = _mm512_set1_pd(x[c]);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(av, xv));
+    }
+    _mm512_storeu_pd(out + r, acc);
+  }
+  if (r < rows) ref::row_dots(a + r * lda, lda, rows - r, d, x, out + r);
+}
+
+double stencil_row(double* out, const double* mid, const double* up,
+                   const double* down, std::size_t cols) {
+  const __m512d quarter = _mm512_set1_pd(0.25);
+  __m512d vmax = _mm512_setzero_pd();
+  std::size_t c = 1;
+  if (cols >= 2) {
+    for (; c + kW <= cols - 1; c += kW) {
+      const __m512d sum = _mm512_add_pd(
+          _mm512_add_pd(
+              _mm512_add_pd(_mm512_loadu_pd(up + c), _mm512_loadu_pd(down + c)),
+              _mm512_loadu_pd(mid + c - 1)),
+          _mm512_loadu_pd(mid + c + 1));
+      const __m512d v = _mm512_mul_pd(quarter, sum);
+      _mm512_storeu_pd(out + c, v);
+      const __m512d diff = _mm512_abs_pd(_mm512_sub_pd(v, _mm512_loadu_pd(mid + c)));
+      // Masked form with an explicit src operand: GCC 12's plain
+      // _mm512_max_pd routes through _mm512_undefined_pd and trips
+      // -Wmaybe-uninitialized on the header's self-initialized temp.
+      vmax = _mm512_mask_max_pd(vmax, static_cast<__mmask8>(0xff), vmax, diff);
+    }
+  }
+  double lanes[kW];
+  _mm512_storeu_pd(lanes, vmax);
+  double max_update = lanes[0];
+  for (std::size_t l = 1; l < kW; ++l) max_update = std::max(max_update, lanes[l]);
+  for (; c + 1 < cols; ++c) {
+    const double v = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+    out[c] = v;
+    max_update = std::max(max_update, std::fabs(v - mid[c]));
+  }
+  return max_update;
+}
+
+// ---- fma tier ----
+
+double dot_fast(const double* a, const double* b, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + kW),
+                           _mm512_loadu_pd(b + i + kW), acc1);
+  }
+  for (; i + kW <= n; i += kW) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+  }
+  double lanes[kW];
+  _mm512_storeu_pd(lanes, _mm512_add_pd(acc0, acc1));
+  double sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+               ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double nrm2_fast(const double* x, std::size_t n) {
+  double amax = 0.0;
+  bool any_nan = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = std::fabs(x[i]);
+    if (std::isnan(av)) any_nan = true;
+    amax = std::max(amax, av);
+  }
+  if (any_nan) return std::numeric_limits<double>::quiet_NaN();
+  if (amax == 0.0) return 0.0;
+  if (std::isinf(amax)) return std::numeric_limits<double>::infinity();
+  const __m512d av = _mm512_set1_pd(amax);
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m512d r = _mm512_div_pd(_mm512_loadu_pd(x + i), av);
+    acc = _mm512_fmadd_pd(r, r, acc);
+  }
+  double lanes[kW];
+  _mm512_storeu_pd(lanes, acc);
+  double ssq = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+               ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) {
+    const double r = x[i] / amax;
+    ssq += r * r;
+  }
+  return amax * std::sqrt(ssq);
+}
+
+void axpy_acc_fast(double* acc, const double* x, double w, std::size_t n) {
+  const __m512d wv = _mm512_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m512d a = _mm512_loadu_pd(acc + i);
+    _mm512_storeu_pd(acc + i,
+                     _mm512_fmadd_pd(wv, _mm512_loadu_pd(x + i), a));
+  }
+  for (; i < n; ++i) acc[i] += w * x[i];
+}
+
+}  // namespace
+
+bool avx512_compiled() { return true; }
+
+const Kernels& avx512_kernels() {
+  static const Kernels table = {
+      dist2_block, quad_block,  axpy_acc, add_acc,   moments_acc, scale,
+      row_dots,    stencil_row, dot_fast, nrm2_fast, axpy_acc_fast,
+  };
+  return table;
+}
+
+}  // namespace prs::simd
+
+#else  // !__AVX512F__
+
+namespace prs::simd {
+bool avx512_compiled() { return false; }
+const Kernels& avx512_kernels() { return scalar_kernels(); }
+}  // namespace prs::simd
+
+#endif

@@ -1,0 +1,124 @@
+// Scalar reference implementations of every simd kernel — the ground
+// truth the vector TUs must match bit-for-bit (deterministic tier) or to
+// ULP bounds (fma tier). Header-only so the AVX2/AVX-512 TUs can reuse
+// them for tail lanes; the arithmetic is plain IEEE multiply/add in a
+// fixed order, so recompiling them per-TU cannot change the results
+// (those TUs use -ffp-contract=off, and reductions are never
+// auto-reassociated without -ffast-math).
+//
+// The loops mirror the original app/linalg code they replaced (cmeans.cpp
+// fuzzy_weights, gmm.cpp log_gaussian, blas.hpp gemm/dot, stencil.cpp
+// relax_rows) operation-for-operation: that is what makes PRS_SIMD=scalar
+// byte-identical to the pre-simd runner.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace prs::simd::ref {
+
+inline void dist2_block(const double* x, const double* ct, std::size_t m,
+                        std::size_t d, double* out) {
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x[c] - ct[c * m + j];
+      acc += diff * diff;
+    }
+    out[j] = acc;
+  }
+}
+
+inline void quad_block(const double* x, const double* mu_t,
+                       const double* var_t, std::size_t m, std::size_t d,
+                       double* out) {
+  for (std::size_t j = 0; j < m; ++j) {
+    double quad = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = x[c] - mu_t[c * m + j];
+      quad += diff * diff / var_t[c * m + j];
+    }
+    out[j] = quad;
+  }
+}
+
+inline void axpy_acc(double* acc, const double* x, double w, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += w * x[i];
+}
+
+inline void add_acc(double* acc, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+inline void moments_acc(double* p1, double* p2, const double* x, double r,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    p1[i] += r * x[i];
+    p2[i] += r * x[i] * x[i];  // (r*x)*x, the original gmm order
+  }
+}
+
+inline void scale(double* v, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+inline void row_dots(const double* a, std::size_t lda, std::size_t rows,
+                     std::size_t d, const double* x, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = a + r * lda;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < d; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+}
+
+inline double stencil_row(double* out, const double* mid, const double* up,
+                          const double* down, std::size_t cols) {
+  double max_update = 0.0;
+  for (std::size_t c = 1; c + 1 < cols; ++c) {
+    const double v = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+    out[c] = v;
+    max_update = std::max(max_update, std::fabs(v - mid[c]));
+  }
+  return max_update;
+}
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Scaled nrm2 with the linalg::nrm2 contract: any NaN => NaN, else any
+/// Inf => +Inf, ±0 skipped, overflow/underflow-safe scaling.
+inline double nrm2(const double* x, std::size_t n) {
+  double scale = 0.0;
+  double ssq = 1.0;
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    if (v == 0.0) continue;
+    const double av = v < 0.0 ? -v : v;
+    if (!any) {
+      scale = av;
+      ssq = 1.0;
+      any = true;
+    } else if (scale < av) {
+      const double r = scale / av;
+      ssq = 1.0 + ssq * r * r;
+      scale = av;
+    } else if (av == scale) {
+      // r would be exactly 1 — adding 1 directly keeps inf/inf (which
+      // would otherwise produce NaN) on the +Inf contract.
+      ssq += 1.0;
+    } else {
+      const double r = av / scale;
+      ssq += r * r;
+    }
+  }
+  if (!any) return 0.0;
+  return scale * std::sqrt(ssq);
+}
+
+}  // namespace prs::simd::ref

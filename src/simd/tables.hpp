@@ -1,0 +1,14 @@
+// Internal: the per-level kernel tables (one per TU). kernels_for() in
+// dispatch.cpp is the only consumer; user code goes through
+// simd::active_kernels().
+#pragma once
+
+#include "simd/kernels.hpp"
+
+namespace prs::simd {
+
+const Kernels& scalar_kernels();
+const Kernels& avx2_kernels();    // scalar table if the TU lacked -mavx2
+const Kernels& avx512_kernels();  // scalar table if the TU lacked -mavx512f
+
+}  // namespace prs::simd

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -83,6 +84,69 @@ TEST(ThreadPool, EmptyAndTinyRanges) {
                 [](std::size_t, std::size_t, int acc) { return acc + 1; },
                 [](int a, int b) { return a + b; }),
             11);
+}
+
+TEST(ThreadPool, ChunkCountEdgesAndOverflow) {
+  // Basic shapes.
+  EXPECT_EQ(exec::chunk_count(0, 16), 0u);
+  EXPECT_EQ(exec::chunk_count(1, 16), 1u);
+  EXPECT_EQ(exec::chunk_count(16, 16), 1u);
+  EXPECT_EQ(exec::chunk_count(17, 16), 2u);
+  // Grain far above n: one chunk, never zero. The old (n + g - 1) / g
+  // wrapped for grain near SIZE_MAX and reported 0 chunks for a non-empty
+  // range (then indexed partials[0] out of bounds).
+  const std::size_t huge = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(exec::chunk_count(5, huge), 1u);
+  EXPECT_EQ(exec::chunk_count(5, huge - 3), 1u);
+  EXPECT_EQ(exec::chunk_count(huge, huge), 1u);
+  EXPECT_EQ(exec::chunk_count(huge, 1), huge);
+  EXPECT_THROW(exec::chunk_count(5, 0), Error);
+}
+
+TEST(ThreadPool, RangesNearSizeMaxDoNotWrap) {
+  PoolGuard guard;
+  exec::ThreadPool::instance().configure(3);
+  // A range whose end sits at SIZE_MAX: the old chunk-end computation
+  // cb + grain overflowed to a tiny value and handed out a truncated (or
+  // inverted) chunk. Count items and check the exact bounds instead.
+  const std::size_t end = std::numeric_limits<std::size_t>::max();
+  const std::size_t begin = end - 5;
+  std::atomic<std::size_t> items{0};
+  exec::parallel_for(begin, end, 1024, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, begin);
+    EXPECT_EQ(e, end);
+    items += e - b;
+  });
+  EXPECT_EQ(items.load(), 5u);
+
+  // Same boundary through the reduce path, with more than one chunk.
+  const std::size_t sum = exec::parallel_reduce(
+      end - 10, end, 4, std::size_t{0},
+      [&](std::size_t b, std::size_t e, std::size_t acc) {
+        EXPECT_LE(b, e);
+        return acc + (e - b);
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(ThreadPool, ReduceWithGrainAboveRange) {
+  PoolGuard guard;
+  exec::ThreadPool::instance().configure(4);
+  // n < grain must mean exactly one chunk covering the whole range.
+  int chunks = 0;
+  const long total = exec::parallel_reduce(
+      3, 10, exec::kDefaultGrain, 0L,
+      [&](std::size_t b, std::size_t e, long acc) {
+        ++chunks;
+        EXPECT_EQ(b, 3u);
+        EXPECT_EQ(e, 10u);
+        for (std::size_t i = b; i < e; ++i) acc += static_cast<long>(i);
+        return acc;
+      },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(chunks, 1);
+  EXPECT_EQ(total, 3 + 4 + 5 + 6 + 7 + 8 + 9);
 }
 
 TEST(ThreadPool, LowestChunkExceptionPropagates) {

@@ -74,6 +74,15 @@ usage: prs_run [options]
   --host-threads=N    real host threads driving the numeric map kernels
                       (default 0 = $PRS_HOST_THREADS, else all cores);
                       results are byte-identical for any N
+  --simd=LEVEL        host kernel instruction set: scalar | avx2 | avx512 |
+                      auto (default; also $PRS_SIMD). Deterministic-tier
+                      kernels are byte-identical across levels; requesting
+                      an unsupported level fails loudly
+  --simd-fma          allow fused/reassociated (FMA) kernels in dot/nrm2/
+                      gemm hot loops (also $PRS_SIMD_FMA=1). Faster, but
+                      waives cross-level bit-identity (ULP-bounded)
+  --simd-calibrate    micro-benchmark the host vector speedup and scale the
+                      roofline CPU rate Fc in the Eq (8) split by it
 
   --fault-spec=SPEC   inject faults and run fault-tolerant, e.g.
                       "gpu_hang:node1:t=2ms", "link_drop:*:p=0.01",
@@ -150,6 +159,14 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
     }
     if (arg == "--resume") {
       out.resume = true;
+      continue;
+    }
+    if (arg == "--simd-fma") {
+      out.simd_fma = true;
+      continue;
+    }
+    if (arg == "--simd-calibrate") {
+      out.simd_calibrate = true;
       continue;
     }
     if (arg == "--submit") {
@@ -234,6 +251,10 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       ok = !val.empty();
     } else if (key == "repeat") {
       ok = parse_int(val, out.repeat) && out.repeat >= 1;
+    } else if (key == "simd") {
+      out.simd = val;
+      ok = val == "scalar" || val == "avx2" || val == "avx512" ||
+           val == "auto";
     } else if (key == "host-threads") {
       ok = parse_int(val, out.host_threads) && out.host_threads >= 0 &&
            out.host_threads <= exec::ThreadPool::kMaxThreads;
@@ -365,6 +386,12 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
   if (out.submit && !out.graph_dump.empty()) {
     error = "--graph-dump is not supported in client mode (the graph lives "
             "in the server)";
+    return false;
+  }
+  if (out.submit &&
+      (!out.simd.empty() || out.simd_fma || out.simd_calibrate)) {
+    error = "--simd/--simd-fma/--simd-calibrate are not supported in client "
+            "mode (kernels run in the server process)";
     return false;
   }
   return true;

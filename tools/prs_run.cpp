@@ -34,6 +34,7 @@
 #include "obs/export.hpp"
 #include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
 #include "svc/client.hpp"
 #include "svc/launcher.hpp"
 #include "svc/protocol.hpp"
@@ -102,6 +103,17 @@ int run(const tools::Options& opt) {
   if (opt.host_threads > 0) {
     exec::ThreadPool::instance().configure(opt.host_threads);
   }
+  // SIMD level before any kernel runs. --simd overrides $PRS_SIMD; an
+  // unsupported request throws (prs::Error handler in main). The status
+  // line only appears when a flag was given, keeping default stdout
+  // byte-identical to pre-SIMD builds.
+  if (!opt.simd.empty()) simd::set_level(opt.simd);
+  if (opt.simd_fma) simd::set_fma_allowed(true);
+  if (!opt.simd.empty() || opt.simd_fma) {
+    std::printf("simd level          %s%s\n",
+                simd::level_name(simd::active_level()),
+                simd::fma_allowed() ? " (+fma)" : "");
+  }
   sim::Simulator sim;
   obs::TraceRecorder tracer(sim);
   const bool observing = !opt.trace_path.empty() || !opt.metrics_path.empty();
@@ -118,6 +130,15 @@ int run(const tools::Options& opt) {
   // keeps its learned per-node fractions across --repeat runs.
   auto policy = core::make_policy(spec.policy);
   cfg.policy = policy.get();
+  // Feed the measured host vector throughput into the Eq (8) split: the
+  // roofline's calibrated Fc describes the scalar host kernels, so a
+  // vectorized host deserves a proportionally larger CPU share.
+  if (opt.simd_calibrate) {
+    cfg.host_simd_scale = simd::measure_host_speedup();
+    std::printf("simd calibration    host speedup x%.2f at level %s "
+                "(scales Fc in the Eq (8) split)\n",
+                cfg.host_simd_scale, simd::level_name(simd::active_level()));
+  }
   Rng rng(spec.seed);
 
   // Fault injection: parse the spec into a plan and attach the injector to
