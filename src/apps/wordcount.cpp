@@ -1,10 +1,14 @@
 #include "apps/wordcount.hpp"
 
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/calibration.hpp"
 #include "exec/parallel.hpp"
+#include "numa/kv_store.hpp"
+#include "numa/topology.hpp"
 
 namespace prs::apps {
 namespace {
@@ -17,6 +21,28 @@ void count_line(const std::string& line, std::map<std::string, long>& acc) {
   std::istringstream ss(line);
   std::string word;
   while (ss >> word) acc[word]++;
+}
+
+/// Exactly the C-locale whitespace set `istream >> std::string` skips —
+/// the two tokenizers below must agree word-for-word or the shuffle paths
+/// would diverge.
+bool is_word_space(char ch) {
+  return ch == ' ' || ch == '\t' || ch == '\n' || ch == '\v' || ch == '\f' ||
+         ch == '\r';
+}
+
+/// Allocation-free tokenizer for the per-lane path: splits like
+/// `ss >> word` but feeds string_views straight into the store (no
+/// std::string per word, no tree rebalance per count).
+void count_line_fast(const std::string& line, numa::LaneKvStore& store) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  while (p < end) {
+    while (p < end && is_word_space(*p)) ++p;
+    const char* const w = p;
+    while (p < end && !is_word_space(*p)) ++p;
+    if (p > w) store.add(std::string_view(w, static_cast<std::size_t>(p - w)), 1);
+  }
 }
 
 /// Shape of the actual corpus, measured once per spec so the Eq (8) cost
@@ -84,6 +110,31 @@ WordCountSpec wordcount_spec(std::shared_ptr<const Corpus> corpus) {
   spec.name = "wordcount";
   spec.cpu_map = [corpus](const core::InputSlice& s,
                           core::Emitter<std::string, long>& e) {
+    // NUMA mode: Metis-style shuffle. One open-addressed store per pool
+    // lane, written lock-free by its owner thread only (a thief counts
+    // stolen chunks into its *own* store), then merged in ascending lane
+    // order. Counts are integers, so any distribution of words over lanes
+    // merges to the same sorted map — byte-identical to the reduce path
+    // below at every thread count and topology (tests/shuffle_test.cpp,
+    // tests/numa_test.cpp).
+    if (numa::enabled()) {
+      const int lanes = exec::ThreadPool::instance().threads();
+      std::vector<numa::LaneKvStore> stores;
+      stores.reserve(static_cast<std::size_t>(lanes));
+      // Start tiny: nearly all slot pages are then allocated by grow()
+      // *inside the owner lane* — first-touched on the owner's socket.
+      for (int i = 0; i < lanes; ++i) stores.emplace_back(8);
+      exec::parallel_for(
+          s.begin, s.end, kMapGrain, [&](std::size_t b, std::size_t en) {
+            numa::LaneKvStore& mine = stores[static_cast<std::size_t>(
+                exec::ThreadPool::current_lane())];
+            for (std::size_t i = b; i < en; ++i) {
+              count_line_fast((*corpus)[i], mine);
+            }
+          });
+      for (auto& [w, c] : numa::merge_lane_stores(stores)) e.emit(w, c);
+      return;
+    }
     // Per-task pre-aggregation (combiner inside the mapper), spread over
     // the host pool. Counts are integers and map merging is
     // order-insensitive, so the merged result is exact for any thread

@@ -2,8 +2,14 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace prs::exec {
 namespace {
@@ -12,6 +18,29 @@ namespace {
 /// (worker lane or participating submitter). Nested regions check this to
 /// run inline instead of deadlocking on the single job slot.
 thread_local bool tl_in_region = false;
+
+/// The thread's lane index: workers set theirs once at thread start;
+/// everything else (the submitter included) is lane 0. Nested regions run
+/// inline, so the value is stable across arbitrary kernel composition.
+thread_local int tl_lane = 0;
+
+/// Best-effort pin of `worker` to `cpu`. Failure (cgroup masks, exotic
+/// kernels, non-Linux hosts) is the documented clean fallback: the lane
+/// keeps its socket group and steal order, it just floats.
+bool pin_thread(std::thread& worker, int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(worker.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  (void)worker;
+  (void)cpu;
+  return false;
+#endif
+}
 
 }  // namespace
 
@@ -25,6 +54,8 @@ ThreadPool::ThreadPool() { threads_ = stats_.threads = default_threads(); }
 ThreadPool::~ThreadPool() { stop_workers(); }
 
 bool ThreadPool::in_parallel_region() { return tl_in_region; }
+
+int ThreadPool::current_lane() { return tl_lane; }
 
 int ThreadPool::default_threads() {
   long n = 0;
@@ -71,18 +102,52 @@ void ThreadPool::stop_workers() {
   stopping_ = false;
 }
 
+void ThreadPool::refresh_placement() {
+  const bool want = numa::enabled();
+  if (!want) {
+    // NUMA off (the default): nothing to compare — but if the running
+    // workers were placed under NUMA mode, restart them flat.
+    if (numa_applied_ && !workers_.empty()) stop_workers();
+    numa_applied_ = false;
+    return;
+  }
+  numa::Topology topo = numa::active_topology();
+  if (numa_applied_ && topo == applied_topo_) return;
+  if (!workers_.empty()) stop_workers();
+  numa_applied_ = true;
+  applied_topo_ = std::move(topo);
+}
+
 void ThreadPool::start_workers_locked() {
+  // Placement decisions for this worker generation: socket groups, steal
+  // order and pin targets all come from the lane map — flat (pre-NUMA
+  // behaviour) unless NUMA mode applied a topology.
+  lane_map_ = numa_applied_ ? numa::build_lane_map(threads_, applied_topo_)
+                            : numa::flat_lane_map(threads_);
   // Lane 0 is the submitting thread; lanes 1..threads-1 get workers.
   lanes_.clear();
   for (int i = 0; i < threads_; ++i) {
     lanes_.push_back(std::make_unique<Lane>());
   }
+  int pinned = 0;
   for (int i = 1; i < threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
+    // Pin from outside before the worker runs any chunk. Lane 0 (the
+    // caller's own thread) is never pinned — the pool must not change
+    // the affinity of a thread it does not own.
+    if (lane_map_.pin && lane_map_.cpu_of[static_cast<std::size_t>(i)] >= 0 &&
+        pin_thread(workers_.back(),
+                   lane_map_.cpu_of[static_cast<std::size_t>(i)])) {
+      ++pinned;
+    }
   }
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  stats_.sockets = lane_map_.sockets;
+  stats_.pinned_lanes = pinned;
 }
 
 void ThreadPool::worker_loop(int lane) {
+  tl_lane = lane;
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -111,27 +176,41 @@ void ThreadPool::worker_loop(int lane) {
 }
 
 std::uint64_t ThreadPool::drain(int lane) {
-  const int n_lanes = threads_;
+  // Own lane first, then the rest of the lane map's probe order: the rest
+  // of this lane's socket group, then remote sockets — under the flat map
+  // this degenerates to the original (lane + probe) % n round-robin.
+  // Chunk claim order is irrelevant for results: each chunk fills its own
+  // output slot and combination order is fixed by the caller.
+  const auto& order = lane_map_.probe_order[static_cast<std::size_t>(lane)];
+  const int my_socket = lane_map_.socket_of[static_cast<std::size_t>(lane)];
+  const bool steal = job_->steal_allowed();
   std::uint64_t ran = 0;
-  std::uint64_t stolen = 0;
-  // Own lane first, then round-robin steals from the others. Chunk claim
-  // order is irrelevant for results: each chunk fills its own output slot
-  // and combination order is fixed by the caller.
-  for (int probe = 0; probe < n_lanes; ++probe) {
-    const auto victim = static_cast<std::size_t>((lane + probe) % n_lanes);
-    Lane& q = *lanes_[victim];
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  for (const int victim : order) {
+    if (!steal && victim != lane) break;  // no-steal job: own block only
+    Lane& q = *lanes_[static_cast<std::size_t>(victim)];
     for (;;) {
       const std::size_t claimed =
           q.next.fetch_add(1, std::memory_order_relaxed);
       if (claimed >= q.end) break;
       execute_chunk(q.base + claimed);
       ++ran;
-      if (probe != 0) ++stolen;
+      if (victim != lane) {
+        const int vs = lane_map_.socket_of[static_cast<std::size_t>(victim)];
+        if (vs == my_socket) {
+          ++local;
+        } else {
+          ++remote;
+        }
+      }
     }
   }
-  if (stolen > 0) {
+  if (local + remote > 0) {
     std::lock_guard<std::mutex> slock(stats_mutex_);
-    stats_.stolen_chunks += stolen;
+    stats_.stolen_chunks += local + remote;
+    stats_.steals_local += local;
+    stats_.steals_remote += remote;
   }
   return ran;
 }
@@ -195,6 +274,7 @@ void ThreadPool::run(detail::ParallelJob& job) {
 
   // Only one top-level region runs at a time; concurrent submitters queue.
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  refresh_placement();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     PRS_CHECK(job_ == nullptr, "ThreadPool::run re-entered");
@@ -268,8 +348,13 @@ PoolStats ThreadPool::stats() const {
 
 void ThreadPool::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
+  const int sockets = stats_.sockets;
+  const int pinned = stats_.pinned_lanes;
   stats_ = PoolStats{};
   stats_.threads = threads_;
+  // Gauges describing the current worker generation, not counters.
+  stats_.sockets = sockets;
+  stats_.pinned_lanes = pinned;
 }
 
 }  // namespace prs::exec

@@ -1,0 +1,387 @@
+#include "numa/topology.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "common/error.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace prs::numa {
+namespace {
+
+/// Programmatic overrides. The enablement override is an atomic int
+/// (-1 none / 0 off / 1 on) like the SIMD overrides; the topology override
+/// is guarded by a mutex because Topology is not trivially copyable.
+std::atomic<int> g_enabled_override{-1};
+std::mutex g_topology_mutex;
+std::optional<Topology> g_topology_override;
+
+bool env_flag(const char* name, bool fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || *e == '\0') return fallback;
+  const std::string v = e;
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  throw InvalidArgument(std::string(name) + "=" + v +
+                        " (expected on/off/1/0/true/false/yes/no)");
+}
+
+/// PRS_NUMA resolved once; mid-process env flips are not a supported way
+/// to switch modes — use set_enabled, as the CLI does.
+bool env_enabled() {
+  static const bool cached = env_flag("PRS_NUMA", false);
+  return cached;
+}
+
+/// PRS_NUMA_TOPOLOGY > discover(), resolved once.
+const Topology& env_or_discovered() {
+  static const Topology cached = [] {
+    const char* e = std::getenv("PRS_NUMA_TOPOLOGY");
+    if (e != nullptr && *e != '\0') return Topology::parse(e);
+    return discover();
+  }();
+  return cached;
+}
+
+#if defined(__linux__)
+/// CPUs this process may run on; empty mask means "no restriction known".
+std::set<int> affinity_mask() {
+  std::set<int> allowed;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &mask)) allowed.insert(cpu);
+    }
+  }
+  return allowed;
+}
+#endif
+
+}  // namespace
+
+int Topology::cpu_count() const {
+  std::size_t n = 0;
+  for (const auto& group : sockets) n += group.size();
+  return static_cast<int>(n);
+}
+
+Topology Topology::uniform(int socket_count, int cpus_per_socket) {
+  PRS_REQUIRE(socket_count >= 1 && cpus_per_socket >= 1,
+              "synthetic topology needs >= 1 socket and >= 1 cpu/socket");
+  Topology t;
+  int cpu = 0;
+  for (int s = 0; s < socket_count; ++s) {
+    std::vector<int> group;
+    for (int c = 0; c < cpus_per_socket; ++c) group.push_back(cpu++);
+    t.sockets.push_back(std::move(group));
+  }
+  return t;
+}
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(pos, comma - pos);
+    const std::size_t dash = item.find('-');
+    try {
+      std::size_t used = 0;
+      if (dash == std::string::npos) {
+        const int cpu = std::stoi(item, &used);
+        PRS_REQUIRE(used == item.size() && cpu >= 0, "bad cpu id");
+        cpus.push_back(cpu);
+      } else {
+        const int lo = std::stoi(item.substr(0, dash), &used);
+        PRS_REQUIRE(used == dash && lo >= 0, "bad range start");
+        const std::string hi_s = item.substr(dash + 1);
+        const int hi = std::stoi(hi_s, &used);
+        PRS_REQUIRE(used == hi_s.size() && hi >= lo, "bad range end");
+        for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+      }
+    } catch (const prs::Error&) {
+      throw InvalidArgument("malformed cpulist: \"" + list + "\"");
+    } catch (...) {
+      throw InvalidArgument("malformed cpulist: \"" + list + "\"");
+    }
+    pos = comma + 1;
+  }
+  if (cpus.empty()) {
+    throw InvalidArgument("empty cpulist: \"" + list + "\"");
+  }
+  std::sort(cpus.begin(), cpus.end());
+  return cpus;
+}
+
+Topology Topology::parse(const std::string& spec) {
+  PRS_REQUIRE(!spec.empty(), "empty topology spec");
+  Topology t;
+  // "SxC" uniform shorthand: exactly one 'x', both sides integers.
+  const std::size_t x = spec.find('x');
+  if (x != std::string::npos && spec.find('x', x + 1) == std::string::npos &&
+      spec.find(';') == std::string::npos &&
+      spec.find(',') == std::string::npos &&
+      spec.find('-') == std::string::npos) {
+    try {
+      std::size_t used = 0;
+      const int s = std::stoi(spec.substr(0, x), &used);
+      PRS_REQUIRE(used == x, "bad socket count");
+      const std::string c_s = spec.substr(x + 1);
+      const int c = std::stoi(c_s, &used);
+      PRS_REQUIRE(used == c_s.size(), "bad cpu count");
+      return uniform(s, c);
+    } catch (const prs::Error&) {
+      throw InvalidArgument("malformed topology spec: \"" + spec +
+                            "\" (want \"SxC\" or \"list;list;...\")");
+    } catch (...) {
+      throw InvalidArgument("malformed topology spec: \"" + spec +
+                            "\" (want \"SxC\" or \"list;list;...\")");
+    }
+  }
+  // Explicit ';'-separated cpulists.
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    t.sockets.push_back(parse_cpulist(spec.substr(pos, semi - pos)));
+    pos = semi + 1;
+    if (semi == spec.size()) break;
+  }
+  t.validate();
+  return t;
+}
+
+std::string Topology::summary() const {
+  std::string out = std::to_string(socket_count()) + " socket(s), cpus ";
+  for (std::size_t s = 0; s < sockets.size(); ++s) {
+    if (s > 0) out += '+';
+    out += std::to_string(sockets[s].size());
+  }
+  out += real ? " (host)" : " (synthetic)";
+  return out;
+}
+
+void Topology::validate() const {
+  PRS_REQUIRE(!sockets.empty(), "topology needs >= 1 socket");
+  std::set<int> seen;
+  for (const auto& group : sockets) {
+    PRS_REQUIRE(!group.empty(), "topology socket with no cpus");
+    for (const int cpu : group) {
+      PRS_REQUIRE(cpu >= 0, "negative cpu id in topology");
+      PRS_REQUIRE(seen.insert(cpu).second,
+                  "cpu " + std::to_string(cpu) +
+                      " appears in two topology sockets");
+    }
+  }
+}
+
+Topology discover() {
+  Topology t;
+  t.real = true;
+#if defined(__linux__)
+  const std::set<int> allowed = affinity_mask();
+  // Node numbering may have gaps (offlined nodes); scan a fixed window
+  // instead of stopping at the first missing directory.
+  for (int node = 0; node < 256; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) +
+                    "/cpulist");
+    if (!f.is_open()) continue;
+    std::string line;
+    std::getline(f, line);
+    if (line.empty()) continue;
+    std::vector<int> cpus;
+    try {
+      cpus = parse_cpulist(line);
+    } catch (const prs::Error&) {
+      continue;  // unparsable sysfs entry: skip the node, keep the rest
+    }
+    if (!allowed.empty()) {
+      std::vector<int> kept;
+      for (const int cpu : cpus) {
+        if (allowed.count(cpu) > 0) kept.push_back(cpu);
+      }
+      cpus = std::move(kept);
+    }
+    if (!cpus.empty()) t.sockets.push_back(std::move(cpus));
+  }
+  if (t.sockets.empty() && !allowed.empty()) {
+    // No sysfs NUMA info: one socket holding every allowed CPU.
+    t.sockets.emplace_back(allowed.begin(), allowed.end());
+  }
+#endif
+  if (t.sockets.empty()) {
+    unsigned n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    std::vector<int> group;
+    for (unsigned cpu = 0; cpu < n; ++cpu) {
+      group.push_back(static_cast<int>(cpu));
+    }
+    t.sockets.push_back(std::move(group));
+  }
+  return t;
+}
+
+Topology active_topology() {
+  {
+    std::lock_guard<std::mutex> lock(g_topology_mutex);
+    if (g_topology_override.has_value()) return *g_topology_override;
+  }
+  return env_or_discovered();
+}
+
+void set_topology(Topology topo) {
+  topo.validate();
+  topo.real = false;  // injected layouts are never pinnable
+  std::lock_guard<std::mutex> lock(g_topology_mutex);
+  g_topology_override = std::move(topo);
+}
+
+void clear_topology_override() {
+  std::lock_guard<std::mutex> lock(g_topology_mutex);
+  g_topology_override.reset();
+}
+
+bool enabled() {
+  const int forced = g_enabled_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced == 1;
+  return env_enabled();
+}
+
+void set_enabled(bool on) {
+  g_enabled_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_enabled_override() {
+  g_enabled_override.store(-1, std::memory_order_relaxed);
+}
+
+ScopedEnable::ScopedEnable(bool on)
+    : prev_(g_enabled_override.load(std::memory_order_relaxed)) {
+  set_enabled(on);
+}
+
+ScopedEnable::~ScopedEnable() {
+  g_enabled_override.store(prev_, std::memory_order_relaxed);
+}
+
+LaneMap build_lane_map(int lanes, const Topology& topo) {
+  PRS_REQUIRE(lanes >= 1, "lane map needs >= 1 lane");
+  topo.validate();
+  LaneMap m;
+  m.socket_of.resize(static_cast<std::size_t>(lanes));
+  m.cpu_of.assign(static_cast<std::size_t>(lanes), -1);
+  m.pin = topo.real;
+
+  // Contiguous lane blocks proportional to each socket's CPU count:
+  // boundary after socket s = round(lanes * cpus(0..s) / cpus(total)).
+  // Cheaper sockets may end up with zero lanes when lanes < sockets.
+  const double total = static_cast<double>(topo.cpu_count());
+  std::vector<std::vector<int>> groups(topo.sockets.size());
+  std::size_t cpu_prefix = 0;
+  int lane = 0;
+  for (std::size_t s = 0; s < topo.sockets.size(); ++s) {
+    cpu_prefix += topo.sockets[s].size();
+    const int boundary = static_cast<int>(
+        static_cast<double>(lanes) * static_cast<double>(cpu_prefix) / total +
+        0.5);
+    for (int j = 0; lane < boundary && lane < lanes; ++lane, ++j) {
+      m.socket_of[static_cast<std::size_t>(lane)] = static_cast<int>(s);
+      if (topo.real) {
+        const auto& cpus = topo.sockets[s];
+        m.cpu_of[static_cast<std::size_t>(lane)] =
+            cpus[static_cast<std::size_t>(j) % cpus.size()];
+      }
+      groups[s].push_back(lane);
+    }
+  }
+  // Rounding never leaves lanes unassigned (the last boundary is exactly
+  // `lanes`), but guard anyway: spill stragglers onto the last socket.
+  for (; lane < lanes; ++lane) {
+    const auto last = topo.sockets.size() - 1;
+    m.socket_of[static_cast<std::size_t>(lane)] = static_cast<int>(last);
+    groups[last].push_back(lane);
+  }
+  for (const auto& g : groups) {
+    if (!g.empty()) ++m.sockets;
+  }
+  --m.sockets;  // initialised to 1 above; count populated groups exactly
+  if (m.sockets < 1) m.sockets = 1;
+
+  // Probe order: own lane, rest of own socket (ascending wrap-around from
+  // self), then remote sockets ascending wrap-around from own socket + 1,
+  // each remote group's lanes in ascending order.
+  m.probe_order.resize(static_cast<std::size_t>(lanes));
+  const int n_sockets = static_cast<int>(topo.sockets.size());
+  for (int l = 0; l < lanes; ++l) {
+    auto& order = m.probe_order[static_cast<std::size_t>(l)];
+    order.reserve(static_cast<std::size_t>(lanes));
+    const int home = m.socket_of[static_cast<std::size_t>(l)];
+    const auto& mine = groups[static_cast<std::size_t>(home)];
+    const auto me = static_cast<std::size_t>(
+        std::find(mine.begin(), mine.end(), l) - mine.begin());
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      order.push_back(mine[(me + k) % mine.size()]);
+    }
+    for (int ds = 1; ds < n_sockets; ++ds) {
+      const auto s = static_cast<std::size_t>((home + ds) % n_sockets);
+      for (const int victim : groups[s]) order.push_back(victim);
+    }
+  }
+  return m;
+}
+
+LaneMap flat_lane_map(int lanes) {
+  PRS_REQUIRE(lanes >= 1, "lane map needs >= 1 lane");
+  LaneMap m;
+  m.socket_of.assign(static_cast<std::size_t>(lanes), 0);
+  m.cpu_of.assign(static_cast<std::size_t>(lanes), -1);
+  m.sockets = 1;
+  m.pin = false;
+  m.probe_order.resize(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    auto& order = m.probe_order[static_cast<std::size_t>(l)];
+    for (int k = 0; k < lanes; ++k) order.push_back((l + k) % lanes);
+  }
+  return m;
+}
+
+std::vector<PrefaultExtent> plan_prefault(std::size_t bytes, int lanes,
+                                          const Topology& topo) {
+  PRS_REQUIRE(lanes >= 1, "prefault plan needs >= 1 lane");
+  std::vector<PrefaultExtent> plan;
+  if (bytes == 0) return plan;
+  const LaneMap m = build_lane_map(lanes, topo);
+  // Balanced contiguous split, boundaries rounded down to page multiples
+  // so no page is split between two sockets (the faulting granularity).
+  const auto n = static_cast<std::size_t>(lanes);
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < n && begin < bytes; ++w) {
+    std::size_t end =
+        w + 1 == n ? bytes : (bytes * (w + 1) / n) / kPrefaultPageBytes *
+                                 kPrefaultPageBytes;
+    if (end <= begin && w + 1 < n) continue;  // tiny buffer: later lane
+    if (end <= begin) end = bytes;
+    PrefaultExtent e;
+    e.begin = begin;
+    e.end = end;
+    e.lane = static_cast<int>(w);
+    e.socket = m.socket_of[w];
+    plan.push_back(e);
+    begin = end;
+  }
+  if (!plan.empty()) plan.back().end = bytes;
+  return plan;
+}
+
+}  // namespace prs::numa

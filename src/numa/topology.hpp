@@ -1,0 +1,176 @@
+// NUMA-aware host execution, layer 1: the topology model.
+//
+// The paper's CPU side assumes the host delivers its full aggregate memory
+// bandwidth; once the SIMD kernels saturate a single socket, cross-socket
+// traffic becomes the next wall. This header models the host's socket
+// layout and turns it into the three *scheduling decisions* the thread
+// pool consumes:
+//
+//   * the lane -> socket map (which worker lanes form a socket group);
+//   * the per-lane steal order (steal within your socket before crossing);
+//   * the prefault plan (which lane first-touches which byte extent, so
+//     pages land on the socket that will process them).
+//
+// Every decision is a pure function of (lane count, Topology) — and the
+// Topology itself can be injected synthetically (set_topology /
+// PRS_NUMA_TOPOLOGY), so single-socket CI runners can assert 2- and
+// 4-socket behaviour exactly (tests/numa_test.cpp). Real discovery reads
+// /sys/devices/system/node/node*/cpulist filtered by sched_getaffinity;
+// when sysfs is absent the host degrades to one socket and NUMA mode
+// becomes a no-op (clean fallback).
+//
+// Determinism: none of this changes *what* is computed. The pool's
+// determinism contract (chunk decomposition + fixed combine order,
+// DESIGN.md §4f) already guarantees byte-identical results regardless of
+// which lane runs which chunk, so affinity, steal order and placement are
+// pure placement decisions — PRS_NUMA=on/off and any topology produce the
+// same bytes (swept in tests/numa_test.cpp and bench_ablation_numa).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace prs::numa {
+
+/// The host's socket layout: one sorted CPU-id list per socket (sysfs
+/// "NUMA node" granularity — the unit that shares a memory controller).
+struct Topology {
+  /// socket -> sorted CPU ids. Never empty after validate(); sockets with
+  /// no allowed CPUs are dropped at discovery/parse time.
+  std::vector<std::vector<int>> sockets;
+
+  /// True only for the discovered host topology: CPU ids are valid
+  /// arguments for thread affinity on this machine. Synthetic topologies
+  /// (set_topology, PRS_NUMA_TOPOLOGY, parse, uniform) are never pinnable
+  /// — their CPU ids describe an imaginary host.
+  bool real = false;
+
+  int socket_count() const { return static_cast<int>(sockets.size()); }
+  int cpu_count() const;
+
+  /// Synthetic `sockets` x `cpus_per_socket` layout with CPU ids numbered
+  /// contiguously socket by socket (socket s owns [s*c, (s+1)*c)).
+  static Topology uniform(int sockets, int cpus_per_socket);
+
+  /// Parses a synthetic-topology spec (the PRS_NUMA_TOPOLOGY grammar):
+  ///   "2x4"        — 2 sockets x 4 CPUs (uniform);
+  ///   "0-3;4-7,12" — explicit per-socket CPU lists, ';'-separated,
+  ///                  each in sysfs cpulist syntax (ranges + commas).
+  /// Throws prs::InvalidArgument on malformed or empty specs.
+  static Topology parse(const std::string& spec);
+
+  /// "2 socket(s), cpus 4+4" — for status lines and error messages.
+  std::string summary() const;
+
+  /// Throws prs::InvalidArgument on empty sockets, empty groups,
+  /// negative or duplicate CPU ids.
+  void validate() const;
+
+  /// Structural equality — the pool compares against the topology its
+  /// current lane map was built from to detect injection between jobs.
+  friend bool operator==(const Topology& a, const Topology& b) {
+    return a.real == b.real && a.sockets == b.sockets;
+  }
+  friend bool operator!=(const Topology& a, const Topology& b) {
+    return !(a == b);
+  }
+};
+
+/// Parses one sysfs-style cpulist ("0-3,8,10-11") into sorted CPU ids.
+/// Exposed for tests; throws prs::InvalidArgument on malformed input.
+std::vector<int> parse_cpulist(const std::string& list);
+
+/// Reads the real host layout: /sys/devices/system/node/node*/cpulist
+/// intersected with this process's CPU affinity mask. Falls back to one
+/// socket holding every allowed CPU when sysfs is unavailable (non-Linux,
+/// containers without /sys). The result has real = true.
+Topology discover();
+
+/// The topology every scheduling decision routes through:
+/// set_topology override > PRS_NUMA_TOPOLOGY > discover(). Returned by
+/// value: injection must never invalidate a map a caller already built.
+Topology active_topology();
+
+/// Injects a synthetic topology (tests, what-if benches). Marks it
+/// real = false, so the pool will not attempt pinning. Call before the
+/// pool's workers (re)start — like the SIMD overrides, switching while
+/// kernels are in flight is not supported.
+void set_topology(Topology topo);
+void clear_topology_override();
+
+/// NUMA mode: set_enabled override > PRS_NUMA env (1/true/on/yes or
+/// 0/false/off/no; anything else throws) > off. Off is the default: the
+/// pool keeps its flat round-robin steal order and no pinning, exactly
+/// the pre-NUMA behaviour.
+bool enabled();
+void set_enabled(bool on);
+void clear_enabled_override();
+
+/// RAII enablement override that restores the *previous* override state
+/// (set, cleared, or absent) on destruction — used by the job runner to
+/// honour JobConfig::host_numa for exactly one job.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on);
+  ~ScopedEnable();
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// The thread pool's per-lane placement decisions, derived once per
+/// worker generation from (lane count, Topology). Pure data — building it
+/// touches no threads, so tests assert it for any synthetic layout.
+struct LaneMap {
+  /// lane -> socket group. Lanes are assigned to sockets in contiguous
+  /// blocks proportional to each socket's CPU count (largest-remainder
+  /// free: block boundaries are round(lanes * cpu_prefix / cpus)).
+  std::vector<int> socket_of;
+  /// lane -> CPU id to pin the lane's worker to (round-robin within the
+  /// socket's CPU list), or -1 when the topology is not pinnable.
+  std::vector<int> cpu_of;
+  /// lane -> complete victim probe order, self first: own lane, then the
+  /// rest of the own socket group in ascending wrap-around order, then
+  /// remote sockets in ascending wrap-around order (each group's lanes
+  /// ascending). Every lane appears exactly once.
+  std::vector<std::vector<int>> probe_order;
+  /// Number of socket groups that received at least one lane.
+  int sockets = 1;
+  /// True when cpu_of carries real, pinnable CPU ids.
+  bool pin = false;
+
+  int lanes() const { return static_cast<int>(socket_of.size()); }
+};
+
+/// NUMA-aware lane map for `lanes` worker lanes over `topo`.
+LaneMap build_lane_map(int lanes, const Topology& topo);
+
+/// The pre-NUMA behaviour as a LaneMap: one socket, probe order
+/// (lane + k) % lanes, no pinning. Used when NUMA mode is off so the
+/// pool has exactly one code path.
+LaneMap flat_lane_map(int lanes);
+
+/// One extent of a prefault plan: lane `lane` (on socket `socket`)
+/// first-touches bytes [begin, end) of the buffer.
+struct PrefaultExtent {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int lane = 0;
+  int socket = 0;
+};
+
+/// Splits [0, bytes) into one page-aligned extent per lane — the same
+/// balanced contiguous split the pool hands its lanes — so the lane that
+/// will process a region is the lane that faults its pages in. Pure
+/// function of (bytes, lanes, topo); executed by
+/// exec::prefault_first_touch via a no-steal pool job.
+std::vector<PrefaultExtent> plan_prefault(std::size_t bytes, int lanes,
+                                          const Topology& topo);
+
+/// The page granularity plan_prefault aligns extents to.
+inline constexpr std::size_t kPrefaultPageBytes = 4096;
+
+}  // namespace prs::numa

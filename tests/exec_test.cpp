@@ -2,11 +2,13 @@
 // wrappers, exception propagation, nested regions, and — the load-bearing
 // property — byte-identical app results for any thread count.
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +20,7 @@
 #include "data/dataset.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
+#include "numa/topology.hpp"
 
 namespace {
 
@@ -218,6 +221,87 @@ TEST(ThreadPool, StatsCountChunksAndOccupancy) {
   // Every chunk was either run by the caller or stolen-adjacent on a
   // worker lane; the split varies, the total must not.
   EXPECT_LE(s.caller_chunks, s.chunks);
+}
+
+/// Forces exactly one steal of a lane-0 chunk by lane 1, deterministically:
+/// with 2 lanes and 4 unit chunks, lane 0 owns {0, 1} and lane 1 owns
+/// {2, 3}. Chunk 0's body spins until the other three chunks finished, so
+/// whichever thread claims it is parked — the other thread must run its
+/// own block and steal the one remaining lane-0 chunk. Either interleaving
+/// yields exactly one cross-lane claim of a lane-0 chunk.
+void run_one_forced_steal() {
+  std::atomic<int> others_done{0};
+  exec::parallel_for(0, 4, 1, [&](std::size_t b, std::size_t) {
+    if (b == 0) {
+      for (int spin = 0; others_done.load() < 3 && spin < 200000; ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    } else {
+      ++others_done;
+    }
+  });
+}
+
+TEST(ThreadPool, StealSplitCountsLocalUnderFlatMap) {
+  PoolGuard guard;
+  // Force the flat map even when the CI environment sets PRS_NUMA=on.
+  numa::ScopedEnable numa_off(false);
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(2);
+  pool.reset_stats();
+  run_one_forced_steal();
+  const exec::PoolStats s = pool.stats();
+  EXPECT_EQ(s.stolen_chunks, 1u);
+  // Flat map: one socket group, so every steal is local by construction.
+  EXPECT_EQ(s.sockets, 1);
+  EXPECT_EQ(s.steals_local, 1u);
+  EXPECT_EQ(s.steals_remote, 0u);
+}
+
+TEST(ThreadPool, StealSplitCountsRemoteUnderSyntheticTwoSocketMap) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(2);
+  // Two lanes on two different mock sockets: any steal crosses sockets.
+  numa::set_topology(numa::Topology::uniform(2, 1));
+  numa::set_enabled(true);
+  pool.reset_stats();
+  run_one_forced_steal();
+  exec::PoolStats s = pool.stats();
+  EXPECT_EQ(s.sockets, 2);
+  EXPECT_EQ(s.stolen_chunks, 1u);
+  EXPECT_EQ(s.steals_local, 0u);
+  EXPECT_EQ(s.steals_remote, 1u);
+  numa::clear_enabled_override();
+  numa::clear_topology_override();
+  // Totals stay consistent after more (flat) work: stolen = local + remote.
+  run_one_forced_steal();
+  s = pool.stats();
+  EXPECT_EQ(s.stolen_chunks, s.steals_local + s.steals_remote);
+}
+
+TEST(ThreadPool, NoStealJobsKeepEveryChunkOnItsOwnLane) {
+  PoolGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(3);
+  pool.reset_stats();
+  struct LaneProbe : exec::detail::ParallelJob {
+    explicit LaneProbe(std::size_t lanes)
+        : ParallelJob(lanes, /*steal_allowed=*/false), seen(lanes, -1) {}
+    void run_chunk(std::size_t chunk) override {
+      seen[chunk] = exec::ThreadPool::current_lane();
+    }
+    std::vector<int> seen;
+  } job(3);
+  pool.run(job);
+  const exec::PoolStats s = pool.stats();
+  EXPECT_EQ(s.stolen_chunks, 0u);
+  EXPECT_EQ(s.steals_local, 0u);
+  EXPECT_EQ(s.steals_remote, 0u);
+  // chunks == lanes and stealing off: chunk i really ran on lane i.
+  for (std::size_t i = 0; i < job.seen.size(); ++i) {
+    EXPECT_EQ(job.seen[i], static_cast<int>(i)) << "chunk " << i;
+  }
 }
 
 TEST(ThreadPool, ReduceIsDeterministicAcrossThreadCounts) {

@@ -1,0 +1,383 @@
+// NUMA topology layer (src/numa) + NUMA-aware pool behaviour, proven on
+// synthetic topologies: CI runners are single-socket, so every scheduling
+// decision (lane -> socket map, steal order, prefault placement) is
+// asserted on injected 1/2/4-socket mock layouts — and full app runs are
+// swept across topologies, thread counts and PRS_NUMA on/off to pin the
+// byte-identity contract (DESIGN.md §4k).
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/cmeans.hpp"
+#include "apps/wordcount.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/job_runner.hpp"
+#include "data/dataset.hpp"
+#include "exec/parallel.hpp"
+#include "exec/prefault.hpp"
+#include "exec/thread_pool.hpp"
+#include "numa/topology.hpp"
+
+namespace {
+
+using namespace prs;
+
+/// Restores pool sizing AND all numa overrides when a test scope ends.
+struct NumaGuard {
+  ~NumaGuard() {
+    numa::clear_enabled_override();
+    numa::clear_topology_override();
+    exec::ThreadPool::instance().configure(0);
+  }
+};
+
+std::uint64_t digest(std::uint64_t h, const double* p, std::size_t n) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n * sizeof(double); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+// -- cpulist / spec parsing --------------------------------------------------
+
+TEST(NumaTopology, ParsesCpulists) {
+  EXPECT_EQ(numa::parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(numa::parse_cpulist("5"), (std::vector<int>{5}));
+  EXPECT_EQ(numa::parse_cpulist("0-2,8,10-11"),
+            (std::vector<int>{0, 1, 2, 8, 10, 11}));
+  // Output is sorted even when the input is not.
+  EXPECT_EQ(numa::parse_cpulist("7,3-4"), (std::vector<int>{3, 4, 7}));
+  EXPECT_THROW(numa::parse_cpulist(""), Error);
+  EXPECT_THROW(numa::parse_cpulist("abc"), Error);
+  EXPECT_THROW(numa::parse_cpulist("3-1"), Error);
+  EXPECT_THROW(numa::parse_cpulist("1,,2"), Error);
+  EXPECT_THROW(numa::parse_cpulist("-2"), Error);
+}
+
+TEST(NumaTopology, ParsesUniformShorthand) {
+  const numa::Topology t = numa::Topology::parse("2x4");
+  EXPECT_EQ(t.socket_count(), 2);
+  EXPECT_EQ(t.cpu_count(), 8);
+  EXPECT_EQ(t.sockets[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.sockets[1], (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_FALSE(t.real);
+}
+
+TEST(NumaTopology, ParsesExplicitSocketLists) {
+  const numa::Topology t = numa::Topology::parse("0-3;4-7,12");
+  EXPECT_EQ(t.socket_count(), 2);
+  EXPECT_EQ(t.sockets[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t.sockets[1], (std::vector<int>{4, 5, 6, 7, 12}));
+}
+
+TEST(NumaTopology, RejectsMalformedSpecs) {
+  EXPECT_THROW(numa::Topology::parse(""), Error);
+  EXPECT_THROW(numa::Topology::parse("0x4"), Error);   // 0 sockets
+  EXPECT_THROW(numa::Topology::parse("2x"), Error);
+  EXPECT_THROW(numa::Topology::parse("x4"), Error);
+  EXPECT_THROW(numa::Topology::parse("0-3;"), Error);  // empty socket
+  EXPECT_THROW(numa::Topology::parse("0-3;2-5"), Error);  // duplicate cpu
+}
+
+TEST(NumaTopology, SummaryNamesShape) {
+  EXPECT_EQ(numa::Topology::uniform(2, 4).summary(),
+            "2 socket(s), cpus 4+4 (synthetic)");
+  const numa::Topology host = numa::discover();
+  EXPECT_TRUE(host.real);
+  EXPECT_GE(host.socket_count(), 1);
+  EXPECT_GE(host.cpu_count(), 1);
+  EXPECT_NE(host.summary().find("(host)"), std::string::npos);
+}
+
+// -- injection ---------------------------------------------------------------
+
+TEST(NumaTopology, InjectedTopologyWinsAndIsNeverPinnable) {
+  NumaGuard guard;
+  numa::Topology t = numa::Topology::uniform(4, 2);
+  t.real = true;  // a liar: injection must strip this
+  numa::set_topology(t);
+  const numa::Topology got = numa::active_topology();
+  EXPECT_EQ(got.socket_count(), 4);
+  EXPECT_FALSE(got.real);
+  numa::clear_topology_override();
+  EXPECT_TRUE(numa::active_topology().real ||
+              numa::active_topology().socket_count() >= 1);
+}
+
+TEST(NumaEnable, OverrideAndScopedRestore) {
+  NumaGuard guard;
+  numa::clear_enabled_override();
+  // Default (no PRS_NUMA in the test environment) is off.
+  numa::set_enabled(true);
+  EXPECT_TRUE(numa::enabled());
+  {
+    numa::ScopedEnable off(false);
+    EXPECT_FALSE(numa::enabled());
+    {
+      numa::ScopedEnable on(true);
+      EXPECT_TRUE(numa::enabled());
+    }
+    EXPECT_FALSE(numa::enabled());
+  }
+  // ScopedEnable restored the *override*, not just a bool.
+  EXPECT_TRUE(numa::enabled());
+  numa::clear_enabled_override();
+}
+
+// -- lane -> socket assignment ----------------------------------------------
+
+TEST(NumaLaneMap, SingleSocketIsFlat) {
+  const numa::LaneMap m =
+      numa::build_lane_map(4, numa::Topology::uniform(1, 4));
+  EXPECT_EQ(m.sockets, 1);
+  EXPECT_EQ(m.socket_of, (std::vector<int>{0, 0, 0, 0}));
+  const numa::LaneMap flat = numa::flat_lane_map(4);
+  EXPECT_EQ(flat.probe_order, m.probe_order);
+  EXPECT_FALSE(flat.pin);
+}
+
+TEST(NumaLaneMap, TwoSocketsSplitLanesInBlocks) {
+  const numa::LaneMap m =
+      numa::build_lane_map(8, numa::Topology::uniform(2, 4));
+  EXPECT_EQ(m.sockets, 2);
+  EXPECT_EQ(m.socket_of, (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}));
+}
+
+TEST(NumaLaneMap, FourSocketsSplitLanesInBlocks) {
+  const numa::LaneMap m =
+      numa::build_lane_map(8, numa::Topology::uniform(4, 2));
+  EXPECT_EQ(m.sockets, 4);
+  EXPECT_EQ(m.socket_of, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(NumaLaneMap, AsymmetricSocketsGetProportionalLanes) {
+  // 6 cpus on socket 0, 2 on socket 1 -> 6 lanes of 8 on socket 0.
+  const numa::LaneMap m =
+      numa::build_lane_map(8, numa::Topology::parse("0-5;6-7"));
+  EXPECT_EQ(m.socket_of, (std::vector<int>{0, 0, 0, 0, 0, 0, 1, 1}));
+}
+
+TEST(NumaLaneMap, FewerLanesThanSocketsStillCoversEachLane) {
+  const numa::LaneMap m =
+      numa::build_lane_map(2, numa::Topology::uniform(4, 2));
+  ASSERT_EQ(m.lanes(), 2);
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_GE(m.socket_of[static_cast<std::size_t>(l)], 0);
+    EXPECT_LT(m.socket_of[static_cast<std::size_t>(l)], 4);
+  }
+}
+
+TEST(NumaLaneMap, SyntheticTopologyNeverPins) {
+  const numa::LaneMap m =
+      numa::build_lane_map(4, numa::Topology::uniform(2, 2));
+  EXPECT_FALSE(m.pin);
+  EXPECT_EQ(m.cpu_of, (std::vector<int>{-1, -1, -1, -1}));
+}
+
+// -- steal order -------------------------------------------------------------
+
+/// Socket-local-first: self first, then every own-socket lane, then every
+/// remote lane; each lane exactly once.
+void check_probe_order(const numa::LaneMap& m) {
+  const int lanes = m.lanes();
+  for (int l = 0; l < lanes; ++l) {
+    const auto& order = m.probe_order[static_cast<std::size_t>(l)];
+    ASSERT_EQ(static_cast<int>(order.size()), lanes) << "lane " << l;
+    EXPECT_EQ(order[0], l) << "lane " << l << " must probe itself first";
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), lanes)
+        << "lane " << l << ": every victim exactly once";
+    const int home = m.socket_of[static_cast<std::size_t>(l)];
+    bool crossed = false;
+    for (const int victim : order) {
+      const bool remote =
+          m.socket_of[static_cast<std::size_t>(victim)] != home;
+      if (remote) crossed = true;
+      EXPECT_FALSE(crossed && !remote)
+          << "lane " << l << ": local victim " << victim
+          << " probed after a remote one";
+    }
+  }
+}
+
+TEST(NumaStealOrder, LocalLanesPrecedeRemoteOnMockLayouts) {
+  for (const char* spec : {"1x8", "2x4", "4x2", "0-5;6-7", "0;1-3;4-9"}) {
+    for (int lanes : {1, 2, 3, 5, 8}) {
+      check_probe_order(
+          numa::build_lane_map(lanes, numa::Topology::parse(spec)));
+    }
+  }
+}
+
+TEST(NumaStealOrder, TwoSocketExampleIsExact) {
+  const numa::LaneMap m =
+      numa::build_lane_map(4, numa::Topology::uniform(2, 2));
+  // Lanes 0,1 on socket 0; lanes 2,3 on socket 1.
+  EXPECT_EQ(m.probe_order[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(m.probe_order[1], (std::vector<int>{1, 0, 2, 3}));
+  EXPECT_EQ(m.probe_order[2], (std::vector<int>{2, 3, 0, 1}));
+  EXPECT_EQ(m.probe_order[3], (std::vector<int>{3, 2, 0, 1}));
+}
+
+// -- prefault plan -----------------------------------------------------------
+
+TEST(NumaPrefault, PlanCoversBufferWithPageAlignedLaneExtents) {
+  const numa::Topology topo = numa::Topology::uniform(2, 2);
+  const std::size_t bytes = 1 << 20;  // 1 MiB over 4 lanes
+  const auto plan = numa::plan_prefault(bytes, 4, topo);
+  ASSERT_EQ(plan.size(), 4u);
+  const numa::LaneMap m = numa::build_lane_map(4, topo);
+  std::size_t expect_begin = 0;
+  for (const auto& e : plan) {
+    EXPECT_EQ(e.begin, expect_begin);  // contiguous, no gaps or overlap
+    EXPECT_GT(e.end, e.begin);
+    if (e.begin != 0) {
+      EXPECT_EQ(e.begin % numa::kPrefaultPageBytes, 0u);
+    }
+    EXPECT_EQ(e.socket, m.socket_of[static_cast<std::size_t>(e.lane)]);
+    expect_begin = e.end;
+  }
+  EXPECT_EQ(plan.back().end, bytes);
+}
+
+TEST(NumaPrefault, TinyBufferCollapsesToFewerExtents) {
+  const auto plan =
+      numa::plan_prefault(100, 8, numa::Topology::uniform(2, 4));
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.front().begin, 0u);
+  EXPECT_EQ(plan.back().end, 100u);
+  EXPECT_TRUE(numa::plan_prefault(0, 8, numa::Topology::uniform(2, 4))
+                  .empty());
+}
+
+TEST(NumaPrefault, FirstTouchWalksWithoutChangingContents) {
+  NumaGuard guard;
+  exec::ThreadPool::instance().configure(4);
+  numa::set_topology(numa::Topology::uniform(2, 2));
+  numa::set_enabled(true);
+  std::vector<double> buf(70000, 1.25);
+  exec::prefault_first_touch(buf.data(), buf.size() * sizeof(double));
+  for (const double v : buf) ASSERT_EQ(v, 1.25);
+  // Off: a clean no-op (also covers the nullptr/empty guards).
+  numa::set_enabled(false);
+  exec::prefault_first_touch(buf.data(), buf.size() * sizeof(double));
+  exec::prefault_first_touch(nullptr, 64);
+  exec::prefault_first_touch(buf.data(), 0);
+}
+
+// -- pool integration: stats gauges under a mock topology --------------------
+
+TEST(NumaPool, SocketGaugeFollowsInjectedTopology) {
+  NumaGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+  pool.configure(4);
+  numa::set_topology(numa::Topology::uniform(2, 2));
+  numa::set_enabled(true);
+  exec::parallel_for(0, 64, 1, [](std::size_t, std::size_t) {});
+  exec::PoolStats s = pool.stats();
+  EXPECT_EQ(s.sockets, 2);
+  EXPECT_EQ(s.pinned_lanes, 0);  // synthetic layouts never pin
+
+  // Toggling off restarts the workers flat at the next region.
+  numa::set_enabled(false);
+  exec::parallel_for(0, 64, 1, [](std::size_t, std::size_t) {});
+  s = pool.stats();
+  EXPECT_EQ(s.sockets, 1);
+}
+
+// -- byte-identity sweep (the acceptance criterion) --------------------------
+
+/// Digest of full app runs: wordcount through its map kernel (engages the
+/// per-lane kv-store path when NUMA is on), cmeans through a functional
+/// distributed run (engages the prefault hook and JobConfig::host_numa).
+std::uint64_t app_digest() {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  Rng rng(42);
+  auto corpus = std::make_shared<const apps::Corpus>(
+      apps::generate_corpus(rng, 300, 8, 150));
+  auto spec = apps::wordcount_spec(corpus);
+  core::Emitter<std::string, long> em;
+  spec.cpu_map(core::InputSlice{0, corpus->size()}, em);
+  for (const auto& [w, c] : em.pairs()) {
+    for (const char ch : w) {
+      h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
+    }
+    const auto cd = static_cast<double>(c);
+    h = digest(h, &cd, 1);
+  }
+
+  auto ds = data::generate_blobs(rng, 240, 6, 3, 10.0, 1.0);
+  sim::Simulator simu;
+  core::Cluster cluster(simu, 2, core::NodeConfig{});
+  apps::CmeansParams cp;
+  cp.clusters = 3;
+  cp.max_iterations = 5;
+  auto res = apps::cmeans_prs(cluster, ds.points, cp, core::JobConfig{});
+  h = digest(h, &res.centers(0, 0), res.centers.size());
+  h = digest(h, &res.objective, 1);
+  return h;
+}
+
+TEST(NumaDeterminism, AppsAreByteIdenticalAcrossTopologiesAndThreads) {
+  NumaGuard guard;
+  auto& pool = exec::ThreadPool::instance();
+
+  // Reference: NUMA off, one thread.
+  numa::set_enabled(false);
+  pool.configure(1);
+  const std::uint64_t ref = app_digest();
+
+  for (const char* spec : {"1x4", "2x2", "4x1", "0-2;3,4"}) {
+    numa::set_topology(numa::Topology::parse(spec));
+    for (int threads : {1, 2, 5}) {
+      pool.configure(threads);
+      numa::set_enabled(true);
+      EXPECT_EQ(app_digest(), ref)
+          << "topology=" << spec << " threads=" << threads << " numa=on";
+      numa::set_enabled(false);
+      EXPECT_EQ(app_digest(), ref)
+          << "topology=" << spec << " threads=" << threads << " numa=off";
+    }
+  }
+}
+
+TEST(NumaDeterminism, PerJobOverrideMatchesProcessWideMode) {
+  NumaGuard guard;
+  exec::ThreadPool::instance().configure(3);
+  numa::set_topology(numa::Topology::uniform(2, 2));
+  numa::set_enabled(false);
+
+  Rng rng(7);
+  auto ds = data::generate_blobs(rng, 200, 5, 3, 8.0, 1.0);
+  apps::CmeansParams cp;
+  cp.clusters = 3;
+  cp.max_iterations = 4;
+
+  auto run = [&](int host_numa) {
+    sim::Simulator simu;
+    core::Cluster cluster(simu, 2, core::NodeConfig{});
+    core::JobConfig cfg;
+    cfg.host_numa = host_numa;
+    auto res = apps::cmeans_prs(cluster, ds.points, cp, cfg);
+    std::uint64_t h = 1469598103934665603ULL;
+    h = digest(h, &res.centers(0, 0), res.centers.size());
+    return digest(h, &res.objective, 1);
+  };
+
+  const std::uint64_t off = run(0);
+  EXPECT_EQ(run(1), off);   // forced on: same bytes
+  EXPECT_EQ(run(-1), off);  // inherit (off): same bytes
+  // The scoped override restored the process-wide state.
+  EXPECT_FALSE(numa::enabled());
+}
+
+}  // namespace

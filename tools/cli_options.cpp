@@ -83,6 +83,13 @@ usage: prs_run [options]
                       waives cross-level bit-identity (ULP-bounded)
   --simd-calibrate    micro-benchmark the host vector speedup and scale the
                       roofline CPU rate Fc in the Eq (8) split by it
+  --numa=MODE         NUMA-aware host execution: on | off (default; also
+                      $PRS_NUMA). On: worker lanes pin to their socket's
+                      CPUs, steal socket-local first, first-touch their
+                      input share, and wordcount shuffles through per-lane
+                      kv-stores. Placement only — results are
+                      byte-identical on or off ($PRS_NUMA_TOPOLOGY injects
+                      a synthetic layout, e.g. "2x4")
 
   --fault-spec=SPEC   inject faults and run fault-tolerant, e.g.
                       "gpu_hang:node1:t=2ms", "link_drop:*:p=0.01",
@@ -255,6 +262,9 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       out.simd = val;
       ok = val == "scalar" || val == "avx2" || val == "avx512" ||
            val == "auto";
+    } else if (key == "numa") {
+      out.numa = val;
+      ok = val == "on" || val == "off";
     } else if (key == "host-threads") {
       ok = parse_int(val, out.host_threads) && out.host_threads >= 0 &&
            out.host_threads <= exec::ThreadPool::kMaxThreads;
@@ -392,6 +402,11 @@ bool parse_options(int argc, char** argv, Options& out, std::string& error) {
       (!out.simd.empty() || out.simd_fma || out.simd_calibrate)) {
     error = "--simd/--simd-fma/--simd-calibrate are not supported in client "
             "mode (kernels run in the server process)";
+    return false;
+  }
+  if (out.submit && !out.numa.empty()) {
+    error = "--numa is not supported in client mode (host placement belongs "
+            "to the server process)";
     return false;
   }
   return true;

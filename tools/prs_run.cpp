@@ -34,6 +34,7 @@
 #include "obs/export.hpp"
 #include "obs/pool_metrics.hpp"
 #include "obs/trace.hpp"
+#include "numa/topology.hpp"
 #include "simd/dispatch.hpp"
 #include "svc/client.hpp"
 #include "svc/launcher.hpp"
@@ -113,6 +114,14 @@ int run(const tools::Options& opt) {
     std::printf("simd level          %s%s\n",
                 simd::level_name(simd::active_level()),
                 simd::fma_allowed() ? " (+fma)" : "");
+  }
+  // NUMA mode before any kernel runs. --numa overrides $PRS_NUMA; like
+  // the simd status line, the topology line only appears when the flag
+  // was given, keeping default stdout byte-identical.
+  if (!opt.numa.empty()) {
+    numa::set_enabled(opt.numa == "on");
+    std::printf("numa                %s | %s\n", opt.numa.c_str(),
+                numa::active_topology().summary().c_str());
   }
   sim::Simulator sim;
   obs::TraceRecorder tracer(sim);
